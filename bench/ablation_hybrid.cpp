@@ -1,0 +1,71 @@
+// Ablation (paper §9 future work): the adaptive per-row hybrid kernel
+// against the pure algorithms, on workloads whose rows span both regimes of
+// paper Fig. 7 — an R-MAT matrix (skewed row degrees: some rows are heap
+// territory, hubs are MSA/Hash territory) and ER matrices at the regime
+// boundaries. The hybrid should track the per-workload winner without
+// knowing it in advance.
+#include <cstdio>
+
+#include "harness.hpp"
+#include "semiring/semiring.hpp"
+
+int main() {
+  using namespace msp;
+  using namespace msp::bench;
+
+  const int logn = static_cast<int>(env_long("MSP_SCALE", 12));
+  const IT n = IT{1} << logn;
+  const std::vector<MaskedAlgorithm> algos = {
+      MaskedAlgorithm::kMsa, MaskedAlgorithm::kHash, MaskedAlgorithm::kHeap,
+      MaskedAlgorithm::kAdaptive};
+
+  struct Workload {
+    std::string name;
+    CsrMatrix<IT, VT> a;
+    CsrMatrix<IT, VT> mask;
+  };
+  std::vector<Workload> workloads;
+  {
+    const auto g = rmat_graph<IT, VT>(logn, 8.0);
+    workloads.push_back({"rmat-skewed", g, g});
+  }
+  workloads.push_back({"er-sparse-in",
+                       erdos_renyi<IT, VT>(n, 2.0, 41),
+                       erdos_renyi<IT, VT>(n, 64.0, 42)});
+  workloads.push_back({"er-balanced",
+                       erdos_renyi<IT, VT>(n, 16.0, 43),
+                       erdos_renyi<IT, VT>(n, 16.0, 44)});
+  workloads.push_back({"er-dense-in",
+                       erdos_renyi<IT, VT>(n, 64.0, 45),
+                       erdos_renyi<IT, VT>(n, 4.0, 46)});
+
+  std::printf("# Ablation: adaptive hybrid kernel vs pure kernels "
+              "(seconds, C = M .* A*A)\n");
+  std::printf("%-14s", "workload");
+  for (MaskedAlgorithm algo : algos) {
+    std::printf(" %12s", algorithm_name(algo));
+  }
+  std::printf(" %14s\n", "hybrid/best");
+  for (const auto& w : workloads) {
+    std::printf("%-14s", w.name.c_str());
+    double best_pure = std::numeric_limits<double>::infinity();
+    double hybrid = 0.0;
+    for (MaskedAlgorithm algo : algos) {
+      MaskedSpgemmOptions opt;
+      opt.algorithm = algo;
+      const double t = time_best([&] {
+        (void)masked_multiply<PlusTimes<VT>>(w.a, w.a, w.mask, opt);
+      });
+      std::printf(" %12.6f", t);
+      if (algo == MaskedAlgorithm::kAdaptive) {
+        hybrid = t;
+      } else {
+        best_pure = std::min(best_pure, t);
+      }
+    }
+    std::printf(" %14.3f\n", hybrid / best_pure);
+  }
+  std::printf("\n(hybrid/best close to 1.0 means the router matches the "
+              "per-workload winner)\n");
+  return 0;
+}

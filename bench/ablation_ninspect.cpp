@@ -1,0 +1,46 @@
+// Ablation (paper §5.5): the heap kernel's NInspect parameter — how much of
+// the mask to peek before (re-)pushing a row iterator. NInspect = 0 never
+// peeks, 1 checks the current mask head (the paper's "Heap"), ∞ scans until
+// a verdict (the paper's "HeapDot"). The trade-off flips with the
+// mask/input density ratio.
+#include <cstdio>
+
+#include "core/heap_kernel.hpp"
+#include "harness.hpp"
+#include "semiring/semiring.hpp"
+
+int main() {
+  using namespace msp;
+  using namespace msp::bench;
+
+  const int logn = static_cast<int>(env_long("MSP_SCALE", 12));
+  const IT n = IT{1} << logn;
+  struct Setting {
+    long value;
+    const char* label;
+  };
+  const std::vector<Setting> settings = {
+      {0, "NInspect=0"}, {1, "NInspect=1"}, {kInspectAll, "NInspect=inf"}};
+  const std::vector<std::pair<double, double>> density_pairs = {
+      {4, 64}, {16, 16}, {64, 4}, {8, 256}, {256, 8}};
+
+  std::printf("# Ablation: heap NInspect, ER n=2^%d\n", logn);
+  std::printf("%-9s %-9s %14s %14s %14s\n", "deg(A,B)", "deg(M)",
+              settings[0].label, settings[1].label, settings[2].label);
+  for (const auto& [deg, md] : density_pairs) {
+    const auto a = erdos_renyi<IT, VT>(n, deg, 21);
+    const auto b = erdos_renyi<IT, VT>(n, deg, 22);
+    const auto mask = erdos_renyi<IT, VT>(n, md, 23);
+    std::printf("%-9.0f %-9.0f", deg, md);
+    for (const auto& setting : settings) {
+      MaskedSpgemmOptions opt;
+      opt.algorithm = MaskedAlgorithm::kHeap;
+      opt.heap_n_inspect = setting.value;
+      const double t = time_best(
+          [&] { (void)masked_multiply<PlusTimes<VT>>(a, b, mask, opt); });
+      std::printf(" %14.6f", t);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation (paper §6): one-phase vs two-phase execution across a sweep of
+// mask densities. Plain SpGEMM conventionally prefers two phases; the paper
+// finds the mask makes one-phase superior because nnz(M) is a cheap, tight
+// bound on the output size. This bench prints the 1P/2P time ratio per
+// algorithm as the mask density (and hence the quality of that bound)
+// varies.
+#include <cstdio>
+
+#include "harness.hpp"
+#include "semiring/semiring.hpp"
+
+int main() {
+  using namespace msp;
+  using namespace msp::bench;
+
+  const int logn = static_cast<int>(env_long("MSP_SCALE", 12));
+  const IT n = IT{1} << logn;
+  const double deg = static_cast<double>(env_long("MSP_DEGREE", 16));
+  const std::vector<double> mask_degrees = {2, 8, 32, 128, 512};
+  const std::vector<MaskedAlgorithm> algos = {
+      MaskedAlgorithm::kMsa, MaskedAlgorithm::kHash, MaskedAlgorithm::kMca,
+      MaskedAlgorithm::kHeap, MaskedAlgorithm::kInner};
+
+  const auto a = erdos_renyi<IT, VT>(n, deg, 3);
+  const auto b = erdos_renyi<IT, VT>(n, deg, 4);
+
+  std::printf("# Ablation: one-phase vs two-phase, ER n=2^%d deg(A,B)=%.0f\n",
+              logn, deg);
+  std::printf("%-10s %-9s %12s %12s %8s %10s %12s %12s\n", "algorithm",
+              "deg(M)", "1P(s)", "2P(s)", "1P/2P", "bound", "2P-symb(s)",
+              "2P-num(s)");
+  for (MaskedAlgorithm algo : algos) {
+    for (double md : mask_degrees) {
+      const auto mask = erdos_renyi<IT, VT>(n, md, 5);
+      MaskedSpgemmOptions opt;
+      opt.algorithm = algo;
+      opt.phase = MaskedPhase::kOnePhase;
+      MaskedSpgemmStats stats_1p;
+      opt.stats = &stats_1p;
+      const double t1 = time_best(
+          [&] { (void)masked_multiply<PlusTimes<VT>>(a, b, mask, opt); });
+      opt.phase = MaskedPhase::kTwoPhase;
+      MaskedSpgemmStats stats_2p;
+      opt.stats = &stats_2p;
+      const double t2 = time_best(
+          [&] { (void)masked_multiply<PlusTimes<VT>>(a, b, mask, opt); });
+      std::printf("%-10s %-9.0f %12.6f %12.6f %8.3f %10.3f %12.6f %12.6f\n",
+                  algorithm_name(algo), md, t1, t2, t1 / t2,
+                  stats_1p.bound_tightness(), stats_2p.symbolic_seconds,
+                  stats_2p.numeric_seconds);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation (paper §4): the push/pull crossover for masked SpMV — the
+// one-dimensional version of the paper's algorithm-classification story.
+// Sweeps the frontier (input vector) density on a fixed graph and prints
+// push vs pull times; pull should win once the frontier covers a large
+// fraction of the vertices, push while it is small. Also reports the
+// direction-optimized BFS's per-level choices on the same graph.
+#include <cstdio>
+
+#include "apps/bfs_direction_optimized.hpp"
+#include "core/masked_spmv.hpp"
+#include "harness.hpp"
+#include "semiring/semiring.hpp"
+
+int main() {
+  using namespace msp;
+  using namespace msp::bench;
+  using SR = PlusPair<VT>;
+
+  const int scale = static_cast<int>(env_long("MSP_SCALE", 14));
+  const Graph g = rmat_graph<IT, VT>(scale, 16.0);
+  const CscMatrix<IT, VT> g_csc(g.nrows, g.ncols, std::vector<IT>(g.rowptr),
+                                std::vector<IT>(g.colids),
+                                std::vector<VT>(g.values));
+  const IT n = g.nrows;
+
+  std::printf("# Ablation: masked SpMV push vs pull, R-MAT scale %d\n", scale);
+  std::printf("%-16s %12s %12s %8s\n", "frontier nnz/n", "push(s)", "pull(s)",
+              "winner");
+  Xoshiro256 rng(17);
+  for (double frac : {0.001, 0.01, 0.05, 0.2, 0.5, 0.9}) {
+    // Random frontier of ~frac*n vertices; mask = complement of a random
+    // visited set of the same size (the BFS shape).
+    SparseVector<IT, VT> x(n), visited(n);
+    for (IT v = 0; v < n; ++v) {
+      if (rng.next_double() < frac) x.push(v, VT{1});
+      if (rng.next_double() < frac) visited.push(v, VT{1});
+    }
+    const double t_push = time_best(
+        [&] { (void)masked_spmv_push<SR>(x, g, visited, true); });
+    const double t_pull = time_best(
+        [&] { (void)masked_spmv_pull<SR>(x, g_csc, visited, true); });
+    std::printf("%-16.3f %12.6f %12.6f %8s\n", frac, t_push, t_pull,
+                t_push <= t_pull ? "push" : "pull");
+  }
+
+  std::printf("\n# Direction-optimized BFS on the same graph\n");
+  const auto r = bfs_direction_optimized(g, IT{0});
+  std::printf("push steps: %d, pull steps: %d\n", r.push_steps, r.pull_steps);
+  IT reached = 0;
+  for (IT lvl : r.level) reached += (lvl >= 0) ? 1 : 0;
+  std::printf("reached %d of %d vertices\n", reached, n);
+  return 0;
+}

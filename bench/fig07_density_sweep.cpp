@@ -1,0 +1,86 @@
+// Figure 7: best-performing scheme as a function of mask degree (x axis)
+// and input-matrix degree (y axis) on Erdős-Rényi inputs, for a range of
+// matrix dimensions. Prints one winner grid per dimension — the data behind
+// the paper's heat maps.
+//
+// Defaults keep the sweep laptop-sized (dims 2^10..2^12, subsampled degree
+// grids); set MSP_FIG7_DIM_MIN/MSP_FIG7_DIM_MAX (log2) and MSP_FIG7_FULL=1
+// to approach the paper's 2^12..2^22 full grid.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "semiring/semiring.hpp"
+
+namespace {
+
+using namespace msp;
+using namespace msp::bench;
+
+const std::vector<MaskedAlgorithm> kAlgorithms = {
+    MaskedAlgorithm::kInner, MaskedAlgorithm::kHash, MaskedAlgorithm::kMsa,
+    MaskedAlgorithm::kMca,   MaskedAlgorithm::kHeap, MaskedAlgorithm::kHeapDot,
+};
+
+}  // namespace
+
+int main() {
+  const int dim_min = static_cast<int>(env_long("MSP_FIG7_DIM_MIN", 10));
+  const int dim_max = static_cast<int>(env_long("MSP_FIG7_DIM_MAX", 12));
+  const bool full = env_long("MSP_FIG7_FULL", 0) != 0;
+
+  std::vector<long> mask_degrees, input_degrees;
+  if (full) {
+    for (long d = 1; d <= 1024; d *= 2) mask_degrees.push_back(d);
+    for (long d = 1; d <= 128; d *= 2) input_degrees.push_back(d);
+  } else {
+    mask_degrees = {1, 4, 16, 64, 256, 1024};
+    input_degrees = {1, 4, 16, 64, 128};
+  }
+
+  std::printf("# Figure 7: best scheme vs mask degree (cols) and input "
+              "degree (rows), ER graphs\n");
+  for (int logn = dim_min; logn <= dim_max; ++logn) {
+    const IT n = IT{1} << logn;
+    std::printf("\n## dimension = 2^%d x 2^%d\n", logn, logn);
+    std::printf("%-10s", "deg(A,B)");
+    for (long md : mask_degrees) std::printf(" %9ld", md);
+    std::printf("\n");
+    for (long deg : input_degrees) {
+      const auto a =
+          erdos_renyi<IT, VT>(n, static_cast<double>(deg), 11);
+      const auto b =
+          erdos_renyi<IT, VT>(n, static_cast<double>(deg), 12);
+      // Inner wants B column-major; preparing it is not part of the timed
+      // multiply (the paper stores B in CSC for the pull-based algorithm).
+      const auto b_csc = csr_to_csc(b);
+      std::printf("%-10ld", deg);
+      for (long md : mask_degrees) {
+        const auto mask =
+            erdos_renyi<IT, VT>(n, static_cast<double>(md), 13);
+        const char* best_name = "?";
+        double best_time = std::numeric_limits<double>::infinity();
+        for (MaskedAlgorithm algo : kAlgorithms) {
+          MaskedSpgemmOptions opt;
+          opt.algorithm = algo;
+          opt.phase = MaskedPhase::kOnePhase;
+          const double t = time_best([&] {
+            if (algo == MaskedAlgorithm::kInner) {
+              (void)masked_multiply_inner<PlusTimes<VT>>(a, b_csc, mask, opt);
+            } else {
+              (void)masked_multiply<PlusTimes<VT>>(a, b, mask, opt);
+            }
+          });
+          if (t < best_time) {
+            best_time = t;
+            best_name = algorithm_name(algo);
+          }
+        }
+        std::printf(" %9s", best_name);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

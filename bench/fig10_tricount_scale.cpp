@@ -1,0 +1,44 @@
+// Figure 10: Triangle Counting GFLOPS as a function of R-MAT scale.
+// The paper sweeps scale 8..20 (edge factor 16, Graph500 parameters);
+// defaults here stop at 13 to stay laptop-sized — set MSP_SCALE_MAX=20 for
+// the full sweep. GFLOPS = 2·flops(L·L) / Masked-SpGEMM-seconds, matching
+// the multiply+add convention.
+#include <cstdio>
+
+#include "apps/tricount.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace msp;
+  using namespace msp::bench;
+
+  const int scale_min = static_cast<int>(env_long("MSP_SCALE_MIN", 8));
+  const int scale_max = static_cast<int>(env_long("MSP_SCALE_MAX", 13));
+  const std::vector<Scheme> schemes = {Scheme::kMsa1P, Scheme::kHash1P,
+                                       Scheme::kMca1P, Scheme::kInner1P,
+                                       Scheme::kSsSaxpy, Scheme::kSsDot};
+
+  std::printf("# Figure 10: Triangle Counting GFLOPS vs R-MAT scale "
+              "(edge factor 16)\n");
+  std::printf("%-6s", "scale");
+  for (Scheme s : schemes) {
+    std::printf(" %12s", std::string(scheme_name(s)).c_str());
+  }
+  std::printf("\n");
+  for (int scale = scale_min; scale <= scale_max; ++scale) {
+    const Graph g = rmat_graph<IT, VT>(scale, 16.0);
+    const auto input = tricount_prepare(g);
+    std::printf("%-6d", scale);
+    for (Scheme s : schemes) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < reps(); ++r) {
+        best = std::min(best, triangle_count(input, s).spgemm_seconds);
+      }
+      const double gflops =
+          2.0 * static_cast<double>(input.flops) / best / 1e9;
+      std::printf(" %12.3f", gflops);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

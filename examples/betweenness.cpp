@@ -1,0 +1,49 @@
+// Batch betweenness centrality on an R-MAT graph: runs the two-stage
+// Brandes algorithm (complemented-mask forward BFS + masked backward
+// dependency accumulation, paper section 8.4) and prints the ten most
+// central vertices.
+//
+//   $ ./examples/betweenness [scale] [batch_size]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "mspgemm.hpp"
+
+int main(int argc, char** argv) {
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 11;
+  using IT = msp::index_t;
+  using VT = double;
+
+  const auto graph = msp::rmat_graph<IT, VT>(scale, 16.0);
+  const IT batch = argc > 2 ? static_cast<IT>(std::atoi(argv[2]))
+                            : std::min<IT>(128, graph.nrows);
+  std::printf("R-MAT scale %d: %d vertices, %zu nnz; batch of %d sources\n\n",
+              scale, graph.nrows, graph.nnz(), batch);
+
+  const auto r =
+      msp::betweenness_centrality_batch(graph, batch, msp::Scheme::kMsa1P);
+  const double mteps = static_cast<double>(batch) *
+                       static_cast<double>(graph.nnz()) / r.spgemm_seconds /
+                       1e6;
+  std::printf("BFS depth: %d levels\n", r.depth);
+  std::printf("Masked SpGEMM time: %.6f s forward + %.6f s backward "
+              "= %.6f s (%.1f MTEPS)\n\n",
+              r.forward_seconds, r.backward_seconds, r.spgemm_seconds, mteps);
+
+  std::vector<IT> order(r.centrality.size());
+  std::iota(order.begin(), order.end(), IT{0});
+  std::sort(order.begin(), order.end(), [&](IT x, IT y) {
+    return r.centrality[static_cast<std::size_t>(x)] >
+           r.centrality[static_cast<std::size_t>(y)];
+  });
+  std::printf("%-8s %14s %8s\n", "vertex", "centrality", "degree");
+  for (std::size_t rank = 0; rank < 10 && rank < order.size(); ++rank) {
+    const IT v = order[rank];
+    std::printf("%-8d %14.2f %8d\n", v,
+                r.centrality[static_cast<std::size_t>(v)], graph.row_nnz(v));
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Masked multiply on Matrix Market files — the downstream-user entry point:
+// load A, B, and a mask from .mtx files (the SuiteSparse collection's
+// format), run a chosen scheme, and write the result.
+//
+//   $ ./examples/file_multiply A.mtx B.mtx M.mtx [out.mtx] [scheme] [--complement]
+//
+// With a single file argument the triangle-counting pattern C = L .* (L*L)
+// is computed on that graph. Scheme names are the paper's labels
+// (MSA-1P, Hash-2P, Inner-1P, SS:SAXPY, ...).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "mspgemm.hpp"
+
+using IT = msp::index_t;
+using VT = double;
+
+namespace {
+
+bool parse_scheme(const std::string& name, msp::Scheme& out) {
+  for (msp::Scheme s : msp::all_schemes()) {
+    if (name == std::string(msp::scheme_name(s))) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: file_multiply A.mtx [B.mtx M.mtx] [out.mtx] [scheme] "
+               "[--complement]\n  schemes:");
+  for (msp::Scheme s : msp::all_schemes()) {
+    std::fprintf(stderr, " %s", std::string(msp::scheme_name(s)).c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+
+  std::vector<std::string> paths;
+  std::string out_path;
+  msp::Scheme scheme = msp::Scheme::kMsa1P;
+  msp::MaskKind kind = msp::MaskKind::kMask;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    msp::Scheme parsed;
+    if (arg == "--complement") {
+      kind = msp::MaskKind::kComplement;
+    } else if (parse_scheme(arg, parsed)) {
+      scheme = parsed;
+    } else if (arg.size() > 4 && arg.substr(arg.size() - 4) == ".mtx") {
+      paths.push_back(arg);
+    } else {
+      std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  try {
+    if (paths.size() == 1) {
+      // Triangle-counting pattern on a single graph file.
+      const auto g = msp::remove_diagonal(msp::symmetrize(
+          msp::read_matrix_market_csr<IT, VT>(paths[0])));
+      std::printf("graph: %d vertices, %zu nnz\n", g.nrows, g.nnz());
+      const auto r = msp::triangle_count(g, scheme);
+      std::printf("triangles = %lld  (%s, %.6f s in Masked SpGEMM)\n",
+                  static_cast<long long>(r.triangles),
+                  std::string(msp::scheme_name(scheme)).c_str(),
+                  r.spgemm_seconds);
+      return 0;
+    }
+    if (paths.size() < 3) return usage();
+    const auto a = msp::read_matrix_market_csr<IT, VT>(paths[0]);
+    const auto b = msp::read_matrix_market_csr<IT, VT>(paths[1]);
+    const auto m = msp::read_matrix_market_csr<IT, VT>(paths[2]);
+    if (paths.size() >= 4) out_path = paths[3];
+    std::printf("A: %dx%d nnz=%zu, B: %dx%d nnz=%zu, M: %dx%d nnz=%zu\n",
+                a.nrows, a.ncols, a.nnz(), b.nrows, b.ncols, b.nnz(),
+                m.nrows, m.ncols, m.nnz());
+    msp::Timer t;
+    const auto c =
+        msp::run_scheme<msp::PlusTimes<VT>>(scheme, a, b, m, kind);
+    std::printf("C = %sM .* (A*B): %zu nnz in %.6f s (%s)\n",
+                kind == msp::MaskKind::kComplement ? "!" : "", c.nnz(),
+                t.seconds(), std::string(msp::scheme_name(scheme)).c_str());
+    if (!out_path.empty()) {
+      msp::write_matrix_market_file(out_path, c);
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Triangle counting on an R-MAT graph with every Masked SpGEMM scheme,
+// reporting counts, Masked-SpGEMM time, and effective GFLOPS.
+//
+//   $ ./examples/triangle_counting [scale] [edge_factor]
+//
+// Demonstrates the application-level API (apps/tricount.hpp) and the scheme
+// registry used by the benchmark harness.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "mspgemm.hpp"
+
+int main(int argc, char** argv) {
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 11;
+  const double edge_factor = argc > 2 ? std::atof(argv[2]) : 16.0;
+
+  using IT = msp::index_t;
+  using VT = double;
+  std::printf("generating R-MAT graph: scale %d, edge factor %.0f...\n",
+              scale, edge_factor);
+  const auto graph = msp::rmat_graph<IT, VT>(scale, edge_factor);
+  std::printf("graph: %d vertices, %zu edges (directed nnz)\n", graph.nrows,
+              graph.nnz());
+
+  // Preprocessing (degree relabeling + lower-triangular extraction) is done
+  // once and shared by all schemes; only the masked multiply is timed.
+  const auto input = msp::tricount_prepare(graph);
+  std::printf("L: %zu nonzeros, %lld flops in L*L\n\n", input.l.nnz(),
+              static_cast<long long>(input.flops));
+
+  std::printf("%-12s %14s %12s %10s\n", "scheme", "triangles", "seconds",
+              "GFLOPS");
+  for (msp::Scheme s : msp::all_schemes()) {
+    const auto r = msp::triangle_count(input, s);
+    const double gflops =
+        2.0 * static_cast<double>(r.flops) / r.spgemm_seconds / 1e9;
+    std::printf("%-12s %14lld %12.6f %10.3f\n",
+                std::string(msp::scheme_name(s)).c_str(),
+                static_cast<long long>(r.triangles), r.spgemm_seconds,
+                gflops);
+  }
+  return 0;
+}

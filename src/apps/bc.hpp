@@ -1,0 +1,161 @@
+// Batch Betweenness Centrality — paper §8.4.
+//
+// Multi-source two-stage algorithm (Brandes, via the GraphBLAS formulation
+// the paper cites): a batch of sources is processed as a b×n frontier
+// matrix. The forward (push) stage grows BFS frontiers with a *complemented*
+// Masked SpGEMM — the visited set masks out rediscovery — while counting
+// shortest paths; the backward stage accumulates dependencies with regular
+// (non-complemented) Masked SpGEMM, masked by the stored frontiers.
+//
+//   forward:  F_{d+1} = ¬Visited ⊙ (F_d · A)          (plus-times)
+//   backward: W_d     = S_{d-1} ⊙ ((S_d ⊙ (1+Δ)/σ) · A)
+//             Δ      += W_d .* σ
+//
+// where S_d is the depth-d frontier (values = path counts σ restricted to
+// the frontier) and Δ the dependency accumulator. Centrality of v is
+// Σ_s Δ(s, v) over sources s ≠ v. The benchmark metric is TEPS =
+// batch_size × nnz(A) / total Masked-SpGEMM time, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dispatch.hpp"
+#include "matrix/convert.hpp"
+#include "matrix/ops.hpp"
+#include "semiring/semiring.hpp"
+#include "util/timer.hpp"
+
+namespace msp {
+
+template <class IT = index_t>
+struct BcResult {
+  std::vector<double> centrality;   ///< per-vertex betweenness
+  double spgemm_seconds = 0.0;      ///< forward + backward Masked SpGEMM
+  double forward_seconds = 0.0;
+  double backward_seconds = 0.0;
+  int depth = 0;                    ///< number of BFS levels processed
+};
+
+namespace detail {
+
+/// t = S ⊙ (1 + Δ)/σ : pattern of the frontier S (whose values are σ),
+/// with Δ contributing 0 where absent. Row-wise sorted merge.
+template <class IT, class VT>
+CsrMatrix<IT, VT> backward_seed(const CsrMatrix<IT, VT>& frontier,
+                                const CsrMatrix<IT, VT>& delta) {
+  CsrMatrix<IT, VT> t = frontier;  // same pattern; overwrite values
+#pragma omp parallel for schedule(dynamic, 64)
+  for (IT i = 0; i < frontier.nrows; ++i) {
+    IT pd = delta.rowptr[i];
+    const IT ed = delta.rowptr[i + 1];
+    for (IT p = frontier.rowptr[i]; p < frontier.rowptr[i + 1]; ++p) {
+      const IT j = frontier.colids[p];
+      while (pd < ed && delta.colids[pd] < j) ++pd;
+      const VT d =
+          (pd < ed && delta.colids[pd] == j) ? delta.values[pd] : VT{0};
+      t.values[p] = (VT{1} + d) / frontier.values[p];
+    }
+  }
+  return t;
+}
+
+}  // namespace detail
+
+/// Betweenness centrality for the given batch of `sources` on a symmetric
+/// adjacency matrix `adj`, using `scheme` for every Masked SpGEMM. Schemes
+/// without complement support (MCA) are rejected, matching the paper's
+/// exclusion of MCA from this benchmark.
+template <class IT, class VT>
+BcResult<IT> betweenness_centrality(const CsrMatrix<IT, VT>& adj,
+                                    const std::vector<IT>& sources,
+                                    Scheme scheme = Scheme::kMsa1P) {
+  if (adj.nrows != adj.ncols) {
+    throw invalid_argument_error("betweenness_centrality: square matrix required");
+  }
+  if (!scheme_supports_complement(scheme)) {
+    throw invalid_argument_error(
+        "betweenness_centrality: scheme lacks complemented-mask support");
+  }
+  const IT n = adj.nrows;
+  const IT batch = static_cast<IT>(sources.size());
+  BcResult<IT> result;
+  result.centrality.assign(static_cast<std::size_t>(n), 0.0);
+  if (batch == 0 || n == 0) return result;
+
+  // BC is an unweighted-BFS algorithm: only the adjacency *pattern* is
+  // meaningful. Normalize stored values to 1 so plus-times counts paths.
+  const CsrMatrix<IT, VT> a = to_pattern(adj);
+
+  // Initial frontier: one row per source, a single 1 at the source column.
+  CooMatrix<IT, VT> f0(batch, n);
+  for (IT s = 0; s < batch; ++s) {
+    if (sources[static_cast<std::size_t>(s)] < 0 ||
+        sources[static_cast<std::size_t>(s)] >= n) {
+      throw invalid_argument_error("betweenness_centrality: source out of range");
+    }
+    f0.push(s, sources[static_cast<std::size_t>(s)], VT{1});
+  }
+  CsrMatrix<IT, VT> frontier = coo_to_csr(std::move(f0));
+  CsrMatrix<IT, VT> visited = frontier;
+
+  // Forward: store every frontier (values = path counts at that depth).
+  std::vector<CsrMatrix<IT, VT>> levels;
+  levels.push_back(frontier);
+  while (frontier.nnz() > 0) {
+    Timer timer;
+    CsrMatrix<IT, VT> next = run_scheme<PlusTimes<VT>>(
+        scheme, frontier, a, visited, MaskKind::kComplement);
+    result.forward_seconds += timer.seconds();
+    if (next.nnz() == 0) break;
+    visited = ewise_add(visited, next);
+    frontier = next;
+    levels.push_back(std::move(next));
+  }
+  result.depth = static_cast<int>(levels.size());
+
+  // Backward: dependency accumulation from the deepest level towards the
+  // sources. Δ starts empty; levels[0] rows are the sources themselves.
+  CsrMatrix<IT, VT> delta(batch, n);
+  for (std::size_t d = levels.size(); d-- > 1;) {
+    const CsrMatrix<IT, VT> seed =
+        detail::backward_seed(levels[d], delta);
+    Timer timer;
+    CsrMatrix<IT, VT> w = run_scheme<PlusTimes<VT>>(
+        scheme, seed, a, levels[d - 1], MaskKind::kMask);
+    result.backward_seconds += timer.seconds();
+    // Δ += W .* σ (σ = the values stored in the shallower frontier).
+    const CsrMatrix<IT, VT> contrib = ewise_mult(w, levels[d - 1]);
+    delta = ewise_add(delta, contrib);
+  }
+  result.spgemm_seconds = result.forward_seconds + result.backward_seconds;
+
+  // Centrality: column sums of Δ excluding the diagonal-in-batch entries
+  // (a source does not contribute to its own centrality).
+  for (IT s = 0; s < batch; ++s) {
+    const IT src = sources[static_cast<std::size_t>(s)];
+    for (IT p = delta.rowptr[s]; p < delta.rowptr[s + 1]; ++p) {
+      const IT v = delta.colids[p];
+      if (v != src) {
+        result.centrality[static_cast<std::size_t>(v)] +=
+            static_cast<double>(delta.values[p]);
+      }
+    }
+  }
+  return result;
+}
+
+/// Batch over the first min(batch_size, n) vertices — the benchmark setup
+/// (paper uses batches of 512 sources).
+template <class IT, class VT>
+BcResult<IT> betweenness_centrality_batch(const CsrMatrix<IT, VT>& adj,
+                                          IT batch_size,
+                                          Scheme scheme = Scheme::kMsa1P) {
+  std::vector<IT> sources;
+  const IT b = std::min(batch_size, adj.nrows);
+  sources.reserve(static_cast<std::size_t>(b));
+  for (IT s = 0; s < b; ++s) sources.push_back(s);
+  return betweenness_centrality(adj, sources, scheme);
+}
+
+}  // namespace msp

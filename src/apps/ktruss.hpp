@@ -1,0 +1,71 @@
+// k-truss via iterated Masked SpGEMM — paper §8.3.
+//
+// The k-truss of a graph is the maximal subgraph in which every edge is
+// supported by at least k-2 triangles. Each iteration computes edge support
+// as S = C ⊙ (C·C) on the plus-pair semiring (the mask is the current edge
+// set, so support is only computed for surviving edges), prunes edges with
+// support < k-2, and repeats until a fixpoint. The paper reports total flops
+// over all Masked SpGEMM calls divided by their total time (with k = 5).
+#pragma once
+
+#include <cstdint>
+
+#include "core/dispatch.hpp"
+#include "core/flops.hpp"
+#include "matrix/ops.hpp"
+#include "semiring/semiring.hpp"
+#include "util/timer.hpp"
+
+namespace msp {
+
+template <class IT = index_t, class VT = double>
+struct KtrussResult {
+  CsrMatrix<IT, VT> truss;      ///< adjacency of the k-truss subgraph
+  int iterations = 0;
+  double spgemm_seconds = 0.0;  ///< sum over all Masked SpGEMM calls
+  std::int64_t flops = 0;       ///< sum of flops(C·C) over all iterations
+};
+
+/// Compute the k-truss with the given Masked SpGEMM scheme. `adj` must be a
+/// symmetric adjacency matrix without self-loops; k must be >= 3.
+template <class IT, class VT>
+KtrussResult<IT, VT> ktruss(const CsrMatrix<IT, VT>& adj, int k,
+                            Scheme scheme = Scheme::kMsa1P,
+                            int max_iterations = 1000) {
+  if (k < 3) throw invalid_argument_error("ktruss: k must be >= 3");
+  KtrussResult<IT, VT> result;
+  CsrMatrix<IT, VT> c = to_pattern(adj);
+  const VT min_support = static_cast<VT>(k - 2);
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    ++result.iterations;
+    result.flops += total_flops(c, c);
+    // C is symmetric, so its CSR arrays reinterpreted column-wise are a
+    // valid CSC view — the Inner schemes get their column-major B for the
+    // cost of a copy, not a transpose (prepared outside the timed region).
+    const CscMatrix<IT, VT> c_csc(c.nrows, c.ncols,
+                                  std::vector<IT>(c.rowptr),
+                                  std::vector<IT>(c.colids),
+                                  std::vector<VT>(c.values));
+    Timer timer;
+    const CsrMatrix<IT, VT> support =
+        run_scheme_csc<PlusPair<VT>>(scheme, c, c, c_csc, c);
+    result.spgemm_seconds += timer.seconds();
+
+    // Keep edges supported by >= k-2 triangles. Edges absent from `support`
+    // have zero common neighbours and are dropped implicitly.
+    CsrMatrix<IT, VT> pruned = to_pattern(select(
+        support,
+        [min_support](IT, IT, const VT& v) { return v >= min_support; }));
+    if (pruned.nnz() == c.nnz()) {
+      result.truss = std::move(pruned);
+      return result;
+    }
+    c = std::move(pruned);
+    if (c.nnz() == 0) break;
+  }
+  result.truss = std::move(c);
+  return result;
+}
+
+}  // namespace msp

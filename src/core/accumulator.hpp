@@ -1,0 +1,33 @@
+// Shared vocabulary for the masked accumulators (paper §5.1).
+//
+// An accumulator merges scaled rows of B into one output row of C while the
+// mask filters which columns may survive. Unlike a plain SpGEMM sparse
+// accumulator, a masked accumulator distinguishes three states per key:
+//
+//   NOTALLOWED --setAllowed()--> ALLOWED --insert()--> SET --insert()--> SET
+//
+// `insert` takes the product lazily (only evaluated if the key is allowed),
+// and `remove`/gather returns values only for SET keys, resetting them.
+//
+// The concrete accumulators (MSA, Hash, MCA) and the accumulator-free Heap
+// kernel each implement a *row kernel* interface consumed by the drivers in
+// core/masked_spgemm.hpp:
+//
+//   IT numeric_row(IT i, IT* out_cols, VT* out_vals);  // emit row i of C
+//   IT symbolic_row(IT i);                             // count row i of C
+//
+// Output columns are emitted sorted ascending; the count is returned.
+#pragma once
+
+#include <cstdint>
+
+namespace msp {
+
+/// Tri-state of a masked accumulator entry (paper Fig. 3).
+enum class EntryState : std::uint8_t {
+  kNotAllowed = 0,  ///< masked out (default for non-complemented masks)
+  kAllowed = 1,     ///< mask admits this key; nothing inserted yet
+  kSet = 2,         ///< at least one product accumulated
+};
+
+}  // namespace msp

@@ -1,0 +1,104 @@
+// Adaptive (hybrid) row kernel — the paper's future-work direction (§9):
+// "hybrid algorithms that can use different accumulators in the same Masked
+// SpGEMM depending on the density of the mask and parts of matrices being
+// processed".
+//
+// Every row is routed to the accumulator the paper's Figure 7 regions
+// predict to win, using only O(nnz(A(i,:)))-cost per-row statistics:
+//
+//   flops(i) = Σ_{k∈A(i,:)} nnz(B(k,:)) — the push work for the row —
+//   compared against nnz(M(i,:)), the mask budget:
+//
+//   * flops(i) ≪ nnz(M(i,:))   → Heap: the multiset S is tiny, the heap
+//     streams it in O(log nnz(u) · flops) without touching accumulators.
+//   * otherwise, comparable     → MSA while the dense state array stays
+//     cache-resident (small ncols), Hash beyond that (paper §8.1: "MSA on
+//     smaller matrices and Hash on larger ones").
+//
+// The pull-based Inner kernel is not a candidate here because it needs B in
+// CSC; a row-level hybrid must work from a single storage format.
+#pragma once
+
+#include "core/hash_accumulator.hpp"
+#include "core/heap_kernel.hpp"
+#include "core/msa_accumulator.hpp"
+#include "matrix/csr.hpp"
+#include "semiring/semiring.hpp"
+
+namespace msp {
+
+template <Semiring SR, class IT, class VT, class MT>
+class AdaptiveKernel {
+ public:
+  /// Tuning knobs for the per-row routing heuristic.
+  struct Policy {
+    /// Route to Heap when flops(i) * heap_flops_factor <= nnz(M(i,:)).
+    long heap_flops_factor = 4;
+    /// Use MSA (dense states) while ncols(B) <= msa_max_ncols, else Hash.
+    IT msa_max_ncols = IT{1} << 15;
+  };
+
+  AdaptiveKernel(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+                 const CsrMatrix<IT, MT>& m, bool complemented,
+                 Policy policy = {})
+      : a_(a),
+        b_(b),
+        m_(m),
+        complemented_(complemented),
+        policy_(policy),
+        use_msa_(b.ncols <= policy.msa_max_ncols),
+        msa_(a, b, m, complemented),
+        hash_(a, b, m, complemented),
+        heap_(a, b, m, complemented, /*n_inspect=*/1) {}
+
+  IT numeric_row(IT i, IT* out_cols, VT* out_vals) {
+    switch (route(i)) {
+      case Route::kHeap: return heap_.numeric_row(i, out_cols, out_vals);
+      case Route::kMsa: return msa_.numeric_row(i, out_cols, out_vals);
+      case Route::kHash: return hash_.numeric_row(i, out_cols, out_vals);
+    }
+    return 0;
+  }
+
+  IT symbolic_row(IT i) {
+    switch (route(i)) {
+      case Route::kHeap: return heap_.symbolic_row(i);
+      case Route::kMsa: return msa_.symbolic_row(i);
+      case Route::kHash: return hash_.symbolic_row(i);
+    }
+    return 0;
+  }
+
+ private:
+  enum class Route { kHeap, kMsa, kHash };
+
+  Route route(IT i) const {
+    // Complemented masks: the heap's NInspect optimization is unavailable
+    // (paper §5.5) and its set-difference pass offers no shortcut, so only
+    // the MSA/Hash choice remains.
+    if (!complemented_) {
+      long flops = 0;
+      const long mask_nnz = static_cast<long>(m_.row_nnz(i));
+      for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
+        const IT k = a_.colids[p];
+        flops += static_cast<long>(b_.rowptr[k + 1] - b_.rowptr[k]);
+        if (flops * policy_.heap_flops_factor > mask_nnz) break;  // settled
+      }
+      if (flops * policy_.heap_flops_factor <= mask_nnz) return Route::kHeap;
+    }
+    return use_msa_ ? Route::kMsa : Route::kHash;
+  }
+
+  const CsrMatrix<IT, VT>& a_;
+  const CsrMatrix<IT, VT>& b_;
+  const CsrMatrix<IT, MT>& m_;
+  const bool complemented_;
+  const Policy policy_;
+  const bool use_msa_;
+
+  MsaKernel<SR, IT, VT, MT> msa_;
+  HashKernel<SR, IT, VT, MT> hash_;
+  HeapKernel<SR, IT, VT, MT> heap_;
+};
+
+}  // namespace msp

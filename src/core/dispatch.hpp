@@ -1,0 +1,160 @@
+// Scheme registry: the paper's 14 evaluated configurations (§8) behind one
+// uniform call interface, so the benchmark harness and tests can iterate
+// over them by name exactly as the paper's plots do.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/baseline.hpp"
+#include "core/masked_spgemm.hpp"
+
+namespace msp {
+
+/// Every scheme of paper §8: {MSA, Hash, MCA, Heap, HeapDot, Inner} ×
+/// {1P, 2P} plus the two SuiteSparse:GraphBLAS-style baselines.
+enum class Scheme {
+  kMsa1P,
+  kMsa2P,
+  kHash1P,
+  kHash2P,
+  kMca1P,
+  kMca2P,
+  kHeap1P,
+  kHeap2P,
+  kHeapDot1P,
+  kHeapDot2P,
+  kInner1P,
+  kInner2P,
+  kSsDot,
+  kSsSaxpy,
+};
+
+inline std::string_view scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kMsa1P: return "MSA-1P";
+    case Scheme::kMsa2P: return "MSA-2P";
+    case Scheme::kHash1P: return "Hash-1P";
+    case Scheme::kHash2P: return "Hash-2P";
+    case Scheme::kMca1P: return "MCA-1P";
+    case Scheme::kMca2P: return "MCA-2P";
+    case Scheme::kHeap1P: return "Heap-1P";
+    case Scheme::kHeap2P: return "Heap-2P";
+    case Scheme::kHeapDot1P: return "HeapDot-1P";
+    case Scheme::kHeapDot2P: return "HeapDot-2P";
+    case Scheme::kInner1P: return "Inner-1P";
+    case Scheme::kInner2P: return "Inner-2P";
+    case Scheme::kSsDot: return "SS:DOT";
+    case Scheme::kSsSaxpy: return "SS:SAXPY";
+  }
+  return "?";
+}
+
+/// The 12 schemes proposed in the paper (Fig. 8's line-up).
+inline std::vector<Scheme> our_schemes() {
+  return {Scheme::kMsa1P,     Scheme::kMsa2P,  Scheme::kHash1P,
+          Scheme::kHash2P,    Scheme::kMca1P,  Scheme::kMca2P,
+          Scheme::kHeap1P,    Scheme::kHeap2P, Scheme::kHeapDot1P,
+          Scheme::kHeapDot2P, Scheme::kInner1P, Scheme::kInner2P};
+}
+
+/// All 14 schemes including baselines.
+inline std::vector<Scheme> all_schemes() {
+  auto v = our_schemes();
+  v.push_back(Scheme::kSsDot);
+  v.push_back(Scheme::kSsSaxpy);
+  return v;
+}
+
+/// True if the scheme can execute with a complemented mask (MCA and the
+/// paper's MCA-based results exclude complement; see §8.4).
+inline bool scheme_supports_complement(Scheme s) {
+  return s != Scheme::kMca1P && s != Scheme::kMca2P;
+}
+
+/// Decompose a scheme into dispatcher options (baselines return false).
+inline bool scheme_to_options(Scheme s, MaskedSpgemmOptions& opt) {
+  switch (s) {
+    case Scheme::kMsa1P:
+    case Scheme::kMsa2P:
+      opt.algorithm = MaskedAlgorithm::kMsa;
+      break;
+    case Scheme::kHash1P:
+    case Scheme::kHash2P:
+      opt.algorithm = MaskedAlgorithm::kHash;
+      break;
+    case Scheme::kMca1P:
+    case Scheme::kMca2P:
+      opt.algorithm = MaskedAlgorithm::kMca;
+      break;
+    case Scheme::kHeap1P:
+    case Scheme::kHeap2P:
+      opt.algorithm = MaskedAlgorithm::kHeap;
+      break;
+    case Scheme::kHeapDot1P:
+    case Scheme::kHeapDot2P:
+      opt.algorithm = MaskedAlgorithm::kHeapDot;
+      break;
+    case Scheme::kInner1P:
+    case Scheme::kInner2P:
+      opt.algorithm = MaskedAlgorithm::kInner;
+      break;
+    case Scheme::kSsDot:
+    case Scheme::kSsSaxpy:
+      return false;
+  }
+  switch (s) {
+    case Scheme::kMsa2P:
+    case Scheme::kHash2P:
+    case Scheme::kMca2P:
+    case Scheme::kHeap2P:
+    case Scheme::kHeapDot2P:
+    case Scheme::kInner2P:
+      opt.phase = MaskedPhase::kTwoPhase;
+      break;
+    default:
+      opt.phase = MaskedPhase::kOnePhase;
+      break;
+  }
+  return true;
+}
+
+/// Run one scheme: C = M ⊙ (A·B) (or complemented). Uniform entry point for
+/// benches and cross-scheme agreement tests.
+template <Semiring SR, class IT, class VT, class MT>
+CsrMatrix<IT, VT> run_scheme(Scheme s, const CsrMatrix<IT, VT>& a,
+                             const CsrMatrix<IT, VT>& b,
+                             const CsrMatrix<IT, MT>& m,
+                             MaskKind kind = MaskKind::kMask) {
+  MaskedSpgemmOptions opt;
+  opt.mask_kind = kind;
+  if (scheme_to_options(s, opt)) {
+    return masked_multiply<SR>(a, b, m, opt);
+  }
+  if (s == Scheme::kSsDot) return baseline_dot<SR>(a, b, m, kind);
+  return baseline_saxpy<SR>(a, b, m, kind);
+}
+
+/// Like run_scheme, but with a pre-transposed copy of B for the pull-based
+/// Inner schemes (the paper stores B in CSC for those; the transpose is
+/// preparation, not part of the measured multiply). SS:DOT deliberately
+/// ignores `b_csc` — its per-call transpose is part of the baseline's
+/// modeled overhead (paper §8.4).
+template <Semiring SR, class IT, class VT, class MT>
+CsrMatrix<IT, VT> run_scheme_csc(Scheme s, const CsrMatrix<IT, VT>& a,
+                                 const CsrMatrix<IT, VT>& b,
+                                 const CscMatrix<IT, VT>& b_csc,
+                                 const CsrMatrix<IT, MT>& m,
+                                 MaskKind kind = MaskKind::kMask) {
+  if (s == Scheme::kInner1P || s == Scheme::kInner2P) {
+    MaskedSpgemmOptions opt;
+    opt.mask_kind = kind;
+    opt.phase = s == Scheme::kInner2P ? MaskedPhase::kTwoPhase
+                                      : MaskedPhase::kOnePhase;
+    opt.algorithm = MaskedAlgorithm::kInner;
+    return masked_multiply_inner<SR>(a, b_csc, m, opt);
+  }
+  return run_scheme<SR>(s, a, b, m, kind);
+}
+
+}  // namespace msp

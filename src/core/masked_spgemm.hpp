@@ -1,0 +1,428 @@
+// Row-parallel drivers and the public Masked SpGEMM entry point.
+//
+// Two execution strategies (paper §6):
+//  * one-phase (1P): allocate an upper-bounded temporary, compute, compact.
+//    The bound exploits the paper's key observation that the mask is a good
+//    size approximation: nnz(C(i,:)) ≤ nnz(M(i,:)) for a regular mask, and
+//    ≤ min(ncols − nnz(M(i,:)), flops(i)) for a complemented one.
+//  * two-phase (2P): a symbolic pass computes exact per-row counts, a prefix
+//    sum turns them into row pointers, and the numeric pass writes in place.
+//
+// Parallelization is coarse-grained across rows (paper §3) with dynamic
+// scheduling; each OpenMP thread owns one kernel instance whose scratch
+// space is reused across all rows it processes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/flops.hpp"
+#include "core/adaptive_kernel.hpp"
+#include "core/hash_accumulator.hpp"
+#include "core/heap_kernel.hpp"
+#include "core/inner_kernel.hpp"
+#include "core/mca_accumulator.hpp"
+#include "core/msa_accumulator.hpp"
+#include "matrix/convert.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+#include "semiring/semiring.hpp"
+#include "util/common.hpp"
+#include "util/prefix_sum.hpp"
+#include "util/timer.hpp"
+
+namespace msp {
+
+/// The algorithm families evaluated in the paper (§8: 6 schemes × 2 phases).
+enum class MaskedAlgorithm {
+  kMsa,      ///< masked sparse accumulator (§5.2)
+  kHash,     ///< hash accumulator (§5.3)
+  kMca,      ///< mask compressed accumulator (§5.4); no complement support
+  kHeap,     ///< heap with NInspect = 1 (§5.5)
+  kHeapDot,  ///< heap with NInspect = ∞ (§5.5)
+  kInner,    ///< pull-based inner product (§4.1)
+  kAdaptive, ///< per-row hybrid of MSA/Hash/Heap (paper §9 future work)
+};
+
+/// One-phase vs two-phase execution (paper §6).
+enum class MaskedPhase {
+  kOnePhase,
+  kTwoPhase,
+};
+
+/// Regular mask (keep M's pattern) vs complemented mask (keep everything
+/// except M's pattern).
+enum class MaskKind {
+  kMask,
+  kComplement,
+};
+
+/// GraphBLAS mask semantics: a *structural* mask admits every stored entry
+/// (the paper's setting — §2: "we only utilize the pattern of the mask");
+/// a *valued* mask additionally requires the stored value to be nonzero,
+/// so explicitly stored zeros do not admit their position.
+enum class MaskSemantics {
+  kStructural,
+  kValued,
+};
+
+/// Execution statistics filled when MaskedSpgemmOptions::stats is set —
+/// the observable data behind the paper's §6 one-phase/two-phase
+/// discussion (phase time split and the quality of the mask-derived
+/// output-size bound).
+struct MaskedSpgemmStats {
+  double symbolic_seconds = 0.0;  ///< 2P only: pattern-counting pass
+  double numeric_seconds = 0.0;   ///< value-producing pass
+  double assemble_seconds = 0.0;  ///< 1P only: compaction into final CSR
+  std::size_t output_nnz = 0;
+  std::size_t bound_nnz = 0;      ///< 1P only: Σ per-row upper bounds
+
+  /// output_nnz / bound_nnz — how tight the paper's nnz(M) bound was
+  /// (1.0 = exact; meaningful for one-phase runs only).
+  [[nodiscard]] double bound_tightness() const {
+    return bound_nnz == 0 ? 1.0
+                          : static_cast<double>(output_nnz) /
+                                static_cast<double>(bound_nnz);
+  }
+};
+
+struct MaskedSpgemmOptions {
+  MaskedAlgorithm algorithm = MaskedAlgorithm::kMsa;
+  MaskedPhase phase = MaskedPhase::kOnePhase;
+  MaskKind mask_kind = MaskKind::kMask;
+  /// OpenMP dynamic-schedule chunk (rows per work unit).
+  int chunk_rows = 64;
+  /// Override the heap kernel's NInspect (paper §5.5): -1 keeps the
+  /// algorithm's default (1 for kHeap, ∞ for kHeapDot); 0/1/... force a
+  /// value. Used by the NInspect ablation benchmark.
+  long heap_n_inspect = -1;
+  /// When non-null, filled with phase timings and bound quality.
+  MaskedSpgemmStats* stats = nullptr;
+  /// Structural (default, as in the paper) or valued mask interpretation.
+  MaskSemantics mask_semantics = MaskSemantics::kStructural;
+};
+
+/// Human-readable scheme name, e.g. "MSA-1P" — the labels of paper Fig. 8.
+inline const char* algorithm_name(MaskedAlgorithm a) {
+  switch (a) {
+    case MaskedAlgorithm::kMsa: return "MSA";
+    case MaskedAlgorithm::kHash: return "Hash";
+    case MaskedAlgorithm::kMca: return "MCA";
+    case MaskedAlgorithm::kHeap: return "Heap";
+    case MaskedAlgorithm::kHeapDot: return "HeapDot";
+    case MaskedAlgorithm::kInner: return "Inner";
+    case MaskedAlgorithm::kAdaptive: return "Adaptive";
+  }
+  return "?";
+}
+
+namespace detail {
+
+template <class IT, class MT>
+void validate_shapes(IT a_rows, IT a_cols, IT b_rows, IT b_cols,
+                     const CsrMatrix<IT, MT>& m) {
+  if (a_cols != b_rows) {
+    throw invalid_argument_error("masked_multiply: inner dimension mismatch");
+  }
+  if (m.nrows != a_rows || m.ncols != b_cols) {
+    throw invalid_argument_error("masked_multiply: mask shape mismatch");
+  }
+}
+
+/// One-phase driver: `ub[i]` bounds row i's output size; the temporary is
+/// laid out by the prefix sum of the bounds, computed rows are compacted
+/// into the final CSR with a second prefix sum over actual counts.
+template <class IT, class VT, class KernelFactory>
+CsrMatrix<IT, VT> run_one_phase(IT nrows, IT ncols,
+                                const std::vector<std::size_t>& ub,
+                                KernelFactory make_kernel, int chunk_rows,
+                                MaskedSpgemmStats* stats = nullptr) {
+  Timer phase_timer;
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(nrows) + 1, 0);
+  for (IT i = 0; i < nrows; ++i) {
+    offsets[static_cast<std::size_t>(i) + 1] =
+        offsets[static_cast<std::size_t>(i)] + ub[static_cast<std::size_t>(i)];
+  }
+  const std::size_t cap = offsets.back();
+  // Default-initialized (NOT zeroed) temporaries: a std::vector here would
+  // value-initialize `cap` elements — a full write pass over memory the
+  // kernels are about to overwrite anyway, big enough to distort the
+  // one-phase/two-phase trade-off the paper measures in §6.
+  std::unique_ptr<IT[]> tmp_cols(new IT[cap]);
+  std::unique_ptr<VT[]> tmp_vals(new VT[cap]);
+  std::vector<IT> counts(static_cast<std::size_t>(nrows), 0);
+
+#pragma omp parallel
+  {
+    auto kernel = make_kernel();
+#pragma omp for schedule(dynamic, chunk_rows)
+    for (IT i = 0; i < nrows; ++i) {
+      const std::size_t off = offsets[static_cast<std::size_t>(i)];
+      counts[static_cast<std::size_t>(i)] =
+          kernel.numeric_row(i, tmp_cols.get() + off, tmp_vals.get() + off);
+      MSP_ASSERT(static_cast<std::size_t>(counts[i]) <=
+                 ub[static_cast<std::size_t>(i)]);
+    }
+  }
+  if (stats != nullptr) {
+    stats->numeric_seconds = phase_timer.seconds();
+    stats->bound_nnz = cap;
+    phase_timer.reset();
+  }
+
+  std::vector<IT> rowptr_counts = counts;
+  const IT total = exclusive_prefix_sum(rowptr_counts);
+  CsrMatrix<IT, VT> out(nrows, ncols);
+  out.colids.resize(static_cast<std::size_t>(total));
+  out.values.resize(static_cast<std::size_t>(total));
+  for (IT i = 0; i < nrows; ++i) out.rowptr[i] = rowptr_counts[i];
+  out.rowptr[nrows] = total;
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (IT i = 0; i < nrows; ++i) {
+    const std::size_t src = offsets[static_cast<std::size_t>(i)];
+    const std::size_t dst = static_cast<std::size_t>(out.rowptr[i]);
+    const std::size_t c = static_cast<std::size_t>(counts[i]);
+    std::copy_n(tmp_cols.get() + src, c, out.colids.data() + dst);
+    std::copy_n(tmp_vals.get() + src, c, out.values.data() + dst);
+  }
+  if (stats != nullptr) {
+    stats->assemble_seconds = phase_timer.seconds();
+    stats->output_nnz = out.nnz();
+  }
+  MSP_ASSERT(out.check_structure());
+  return out;
+}
+
+/// Two-phase driver: symbolic counts → prefix sum → numeric in place.
+template <class IT, class VT, class KernelFactory>
+CsrMatrix<IT, VT> run_two_phase(IT nrows, IT ncols, KernelFactory make_kernel,
+                                int chunk_rows,
+                                MaskedSpgemmStats* stats = nullptr) {
+  Timer phase_timer;
+  std::vector<IT> counts(static_cast<std::size_t>(nrows), 0);
+#pragma omp parallel
+  {
+    auto kernel = make_kernel();
+#pragma omp for schedule(dynamic, chunk_rows)
+    for (IT i = 0; i < nrows; ++i) {
+      counts[static_cast<std::size_t>(i)] = kernel.symbolic_row(i);
+    }
+  }
+  if (stats != nullptr) {
+    stats->symbolic_seconds = phase_timer.seconds();
+    phase_timer.reset();
+  }
+  const IT total = exclusive_prefix_sum(counts);
+  CsrMatrix<IT, VT> out(nrows, ncols);
+  out.colids.resize(static_cast<std::size_t>(total));
+  out.values.resize(static_cast<std::size_t>(total));
+  for (IT i = 0; i < nrows; ++i) out.rowptr[i] = counts[i];
+  out.rowptr[nrows] = total;
+#pragma omp parallel
+  {
+    auto kernel = make_kernel();
+#pragma omp for schedule(dynamic, chunk_rows)
+    for (IT i = 0; i < nrows; ++i) {
+      const IT written =
+          kernel.numeric_row(i, out.colids.data() + out.rowptr[i],
+                             out.values.data() + out.rowptr[i]);
+      MSP_ASSERT(written == out.rowptr[i + 1] - out.rowptr[i]);
+      (void)written;
+    }
+  }
+  if (stats != nullptr) {
+    stats->numeric_seconds = phase_timer.seconds();
+    stats->output_nnz = out.nnz();
+  }
+  MSP_ASSERT(out.check_structure());
+  return out;
+}
+
+/// Per-row one-phase output bounds (see file header).
+template <class IT, class VT, class MT>
+std::vector<std::size_t> one_phase_bounds(const CsrMatrix<IT, VT>& a,
+                                          const CsrMatrix<IT, VT>& b,
+                                          const CsrMatrix<IT, MT>& m,
+                                          MaskKind kind) {
+  std::vector<std::size_t> ub(static_cast<std::size_t>(m.nrows), 0);
+  if (kind == MaskKind::kMask) {
+#pragma omp parallel for schedule(static)
+    for (IT i = 0; i < m.nrows; ++i) {
+      ub[static_cast<std::size_t>(i)] = static_cast<std::size_t>(m.row_nnz(i));
+    }
+  } else {
+    const auto flops = row_flops(a, b);
+#pragma omp parallel for schedule(static)
+    for (IT i = 0; i < m.nrows; ++i) {
+      const std::size_t allowed =
+          static_cast<std::size_t>(b.ncols) -
+          static_cast<std::size_t>(m.row_nnz(i));
+      ub[static_cast<std::size_t>(i)] = std::min(
+          allowed, static_cast<std::size_t>(flops[static_cast<std::size_t>(i)]));
+    }
+  }
+  return ub;
+}
+
+template <class IT, class VT, class KernelFactory>
+CsrMatrix<IT, VT> run_with_phase(IT nrows, IT ncols,
+                                 const std::vector<std::size_t>* ub,
+                                 KernelFactory make_kernel,
+                                 const MaskedSpgemmOptions& opt) {
+  if (opt.phase == MaskedPhase::kOnePhase) {
+    MSP_ASSERT(ub != nullptr);
+    return run_one_phase<IT, VT>(nrows, ncols, *ub, make_kernel,
+                                 opt.chunk_rows, opt.stats);
+  }
+  return run_two_phase<IT, VT>(nrows, ncols, make_kernel, opt.chunk_rows,
+                               opt.stats);
+}
+
+}  // namespace detail
+
+/// Masked SpGEMM with a pre-transposed B (CSC) for the Inner algorithm.
+/// Use this overload to amortize the transpose across repeated calls.
+template <Semiring SR, class IT, class VT, class MT>
+CsrMatrix<IT, VT> masked_multiply_inner(const CsrMatrix<IT, VT>& a,
+                                        const CscMatrix<IT, VT>& b_csc,
+                                        const CsrMatrix<IT, MT>& m,
+                                        const MaskedSpgemmOptions& opt = {}) {
+  detail::validate_shapes(a.nrows, a.ncols, b_csc.nrows, b_csc.ncols, m);
+  if (opt.mask_semantics == MaskSemantics::kValued) {
+    // Same reduction as masked_multiply: drop explicit zeros, then treat
+    // the filtered mask structurally.
+    CsrMatrix<IT, MT> filtered(m.nrows, m.ncols);
+    for (IT i = 0; i < m.nrows; ++i) {
+      for (IT p = m.rowptr[i]; p < m.rowptr[i + 1]; ++p) {
+        if (m.values[p] != MT{}) {
+          filtered.colids.push_back(m.colids[p]);
+          filtered.values.push_back(m.values[p]);
+        }
+      }
+      filtered.rowptr[static_cast<std::size_t>(i) + 1] =
+          static_cast<IT>(filtered.colids.size());
+    }
+    MaskedSpgemmOptions structural = opt;
+    structural.mask_semantics = MaskSemantics::kStructural;
+    return masked_multiply_inner<SR>(a, b_csc, filtered, structural);
+  }
+  const bool complemented = opt.mask_kind == MaskKind::kComplement;
+  auto factory = [&] {
+    return InnerKernel<SR, IT, VT, MT>(a, b_csc, m, complemented);
+  };
+  if (opt.phase == MaskedPhase::kOnePhase) {
+    std::vector<std::size_t> ub(static_cast<std::size_t>(m.nrows));
+    if (!complemented) {
+#pragma omp parallel for schedule(static)
+      for (IT i = 0; i < m.nrows; ++i) {
+        ub[static_cast<std::size_t>(i)] =
+            static_cast<std::size_t>(m.row_nnz(i));
+      }
+    } else {
+#pragma omp parallel for schedule(static)
+      for (IT i = 0; i < m.nrows; ++i) {
+        ub[static_cast<std::size_t>(i)] =
+            static_cast<std::size_t>(b_csc.ncols) -
+            static_cast<std::size_t>(m.row_nnz(i));
+      }
+    }
+    return detail::run_one_phase<IT, VT>(m.nrows, b_csc.ncols, ub, factory,
+                                         opt.chunk_rows, opt.stats);
+  }
+  return detail::run_two_phase<IT, VT>(m.nrows, b_csc.ncols, factory,
+                                       opt.chunk_rows, opt.stats);
+}
+
+/// Masked SpGEMM: C = M ⊙ (A·B) on semiring SR (or ¬M ⊙ (A·B) for a
+/// complemented mask). The paper's 12 scheme variants are selected through
+/// `opt` (algorithm × phase × mask kind). Only the mask's *pattern* is used;
+/// its value type MT is irrelevant (paper §2).
+template <Semiring SR, class IT, class VT, class MT>
+CsrMatrix<IT, VT> masked_multiply(const CsrMatrix<IT, VT>& a,
+                                  const CsrMatrix<IT, VT>& b,
+                                  const CsrMatrix<IT, MT>& m,
+                                  const MaskedSpgemmOptions& opt = {}) {
+  detail::validate_shapes(a.nrows, a.ncols, b.nrows, b.ncols, m);
+  if (opt.mask_semantics == MaskSemantics::kValued) {
+    // Valued semantics reduce to structural semantics on the mask with its
+    // explicit zeros dropped; filter once and dispatch structurally.
+    CsrMatrix<IT, MT> filtered(m.nrows, m.ncols);
+    for (IT i = 0; i < m.nrows; ++i) {
+      for (IT p = m.rowptr[i]; p < m.rowptr[i + 1]; ++p) {
+        if (m.values[p] != MT{}) {
+          filtered.colids.push_back(m.colids[p]);
+          filtered.values.push_back(m.values[p]);
+        }
+      }
+      filtered.rowptr[static_cast<std::size_t>(i) + 1] =
+          static_cast<IT>(filtered.colids.size());
+    }
+    MaskedSpgemmOptions structural = opt;
+    structural.mask_semantics = MaskSemantics::kStructural;
+    return masked_multiply<SR>(a, b, filtered, structural);
+  }
+  const bool complemented = opt.mask_kind == MaskKind::kComplement;
+  if (complemented && opt.algorithm == MaskedAlgorithm::kMca) {
+    // Must be rejected before the parallel region: exceptions cannot cross
+    // an OpenMP boundary, and the kernel constructor runs per thread.
+    throw invalid_argument_error("MCA does not support complemented masks");
+  }
+
+  if (opt.algorithm == MaskedAlgorithm::kInner) {
+    // The pull-based kernel wants B's columns contiguous; transpose once
+    // here (the dispatcher-level cost the paper notes for dot-based codes).
+    const CscMatrix<IT, VT> b_csc = csr_to_csc(b);
+    return masked_multiply_inner<SR>(a, b_csc, m, opt);
+  }
+
+  std::vector<std::size_t> ub;
+  const std::vector<std::size_t>* ub_ptr = nullptr;
+  if (opt.phase == MaskedPhase::kOnePhase) {
+    ub = detail::one_phase_bounds(a, b, m, opt.mask_kind);
+    ub_ptr = &ub;
+  }
+
+  switch (opt.algorithm) {
+    case MaskedAlgorithm::kMsa: {
+      auto f = [&] { return MsaKernel<SR, IT, VT, MT>(a, b, m, complemented); };
+      return detail::run_with_phase<IT, VT>(m.nrows, b.ncols, ub_ptr, f, opt);
+    }
+    case MaskedAlgorithm::kHash: {
+      auto f = [&] {
+        return HashKernel<SR, IT, VT, MT>(a, b, m, complemented);
+      };
+      return detail::run_with_phase<IT, VT>(m.nrows, b.ncols, ub_ptr, f, opt);
+    }
+    case MaskedAlgorithm::kMca: {
+      auto f = [&] { return McaKernel<SR, IT, VT, MT>(a, b, m, complemented); };
+      return detail::run_with_phase<IT, VT>(m.nrows, b.ncols, ub_ptr, f, opt);
+    }
+    case MaskedAlgorithm::kHeap: {
+      const long inspect = opt.heap_n_inspect >= 0 ? opt.heap_n_inspect : 1;
+      auto f = [&, inspect] {
+        return HeapKernel<SR, IT, VT, MT>(a, b, m, complemented, inspect);
+      };
+      return detail::run_with_phase<IT, VT>(m.nrows, b.ncols, ub_ptr, f, opt);
+    }
+    case MaskedAlgorithm::kHeapDot: {
+      const long inspect =
+          opt.heap_n_inspect >= 0 ? opt.heap_n_inspect : kInspectAll;
+      auto f = [&, inspect] {
+        return HeapKernel<SR, IT, VT, MT>(a, b, m, complemented, inspect);
+      };
+      return detail::run_with_phase<IT, VT>(m.nrows, b.ncols, ub_ptr, f, opt);
+    }
+    case MaskedAlgorithm::kAdaptive: {
+      auto f = [&] {
+        return AdaptiveKernel<SR, IT, VT, MT>(a, b, m, complemented);
+      };
+      return detail::run_with_phase<IT, VT>(m.nrows, b.ncols, ub_ptr, f, opt);
+    }
+    case MaskedAlgorithm::kInner:
+      break;  // handled above
+  }
+  throw invalid_argument_error("masked_multiply: unknown algorithm");
+}
+
+}  // namespace msp

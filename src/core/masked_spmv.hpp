@@ -1,0 +1,130 @@
+// Masked sparse matrix-vector products: y = m ⊙ (x⊺·A) with explicit push
+// and pull variants. This is the primitive masking was first applied to —
+// direction-optimized graph traversal (paper §4, citing Yang/Buluç/Owens
+// [38] and Beamer's direction-optimizing BFS [5]) — and the origin of the
+// paper's push/pull classification of Masked SpGEMM algorithms:
+//
+//  * push (§4.2): driven by the input vector — scatter each x_k against
+//    row A(k,:), accumulate under the mask (an MSA-style accumulator);
+//    work ∝ flops(x·A).
+//  * pull (§4.1): driven by the mask — for each admitted output position j,
+//    a sparse dot product x · A(:,j) over A's column (needs CSC);
+//    work ∝ Σ_{j∈m} nnz(A(:,j)) with early exit.
+//
+// The crossover between the two as the frontier densifies is exactly the
+// paper's Figure 7 story in one dimension; bench/ablation_pushpull sweeps
+// it, and apps/bfs.hpp's direction-optimized variant exploits it.
+#pragma once
+
+#include <vector>
+
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/sparse_vector.hpp"
+#include "semiring/semiring.hpp"
+#include "util/common.hpp"
+
+namespace msp {
+
+/// Push Masked SpMV: y = m ⊙ (x⊺·A) (or ¬m ⊙ ... when `complemented`).
+/// A is traversed by rows selected by x's nonzeros (Gustavson, one row).
+template <Semiring SR, class IT, class VT, class MT>
+SparseVector<IT, VT> masked_spmv_push(const SparseVector<IT, VT>& x,
+                                      const CsrMatrix<IT, VT>& a,
+                                      const SparseVector<IT, MT>& m,
+                                      bool complemented = false) {
+  if (x.size != a.nrows) {
+    throw invalid_argument_error("masked_spmv_push: x/A dimension mismatch");
+  }
+  if (m.size != a.ncols) {
+    throw invalid_argument_error("masked_spmv_push: m/A dimension mismatch");
+  }
+  // MSA-style dense accumulator over the output dimension.
+  std::vector<VT> values(static_cast<std::size_t>(a.ncols));
+  std::vector<char> state(static_cast<std::size_t>(a.ncols),
+                          complemented ? 1 : 0);  // 1 = allowed
+  for (IT j : m.indices) state[static_cast<std::size_t>(j)] = complemented ? 0 : 1;
+
+  std::vector<IT> produced;
+  for (std::size_t p = 0; p < x.nnz(); ++p) {
+    const IT k = x.indices[p];
+    const VT xv = x.values[p];
+    for (IT q = a.rowptr[k]; q < a.rowptr[k + 1]; ++q) {
+      const std::size_t j = static_cast<std::size_t>(a.colids[q]);
+      if (state[j] == 0) continue;  // masked out
+      if (state[j] == 2) {
+        values[j] = SR::add(values[j], SR::multiply(xv, a.values[q]));
+      } else {
+        values[j] = SR::multiply(xv, a.values[q]);
+        state[j] = 2;  // SET
+        produced.push_back(a.colids[q]);
+      }
+    }
+  }
+  std::sort(produced.begin(), produced.end());
+  SparseVector<IT, VT> y(a.ncols);
+  y.indices = std::move(produced);
+  y.values.reserve(y.indices.size());
+  for (IT j : y.indices) y.values.push_back(values[static_cast<std::size_t>(j)]);
+  return y;
+}
+
+/// Pull Masked SpMV: y = m ⊙ (x⊺·A) with A in CSC. The input vector is
+/// scattered into dense lookup arrays once (the standard pull/bottom-up
+/// formulation), so each admitted column j costs O(nnz(A(:,j))) — the work
+/// profile that makes pull win on dense frontiers (paper §4.1's locality
+/// analysis, in one dimension).
+///
+/// `early_exit` stops a column's scan at its first contributing pair —
+/// valid only when the caller needs existence rather than the accumulated
+/// value (e.g. bottom-up BFS "has any frontier in-neighbour"); the output
+/// value is then the first product alone.
+template <Semiring SR, class IT, class VT, class MT>
+SparseVector<IT, VT> masked_spmv_pull(const SparseVector<IT, VT>& x,
+                                      const CscMatrix<IT, VT>& a,
+                                      const SparseVector<IT, MT>& m,
+                                      bool complemented = false,
+                                      bool early_exit = false) {
+  if (x.size != a.nrows) {
+    throw invalid_argument_error("masked_spmv_pull: x/A dimension mismatch");
+  }
+  if (m.size != a.ncols) {
+    throw invalid_argument_error("masked_spmv_pull: m/A dimension mismatch");
+  }
+  std::vector<VT> xval(static_cast<std::size_t>(a.nrows));
+  std::vector<char> xhas(static_cast<std::size_t>(a.nrows), 0);
+  for (std::size_t p = 0; p < x.nnz(); ++p) {
+    xval[static_cast<std::size_t>(x.indices[p])] = x.values[p];
+    xhas[static_cast<std::size_t>(x.indices[p])] = 1;
+  }
+  SparseVector<IT, VT> y(a.ncols);
+  auto dot = [&](IT j, VT& acc) {
+    bool any = false;
+    for (IT pa = a.colptr[j]; pa < a.colptr[j + 1]; ++pa) {
+      const std::size_t r = static_cast<std::size_t>(a.rowids[pa]);
+      if (!xhas[r]) continue;
+      const VT prod = SR::multiply(xval[r], a.values[pa]);
+      acc = any ? SR::add(acc, prod) : prod;
+      any = true;
+      if (early_exit) break;
+    }
+    return any;
+  };
+  if (!complemented) {
+    for (IT j : m.indices) {
+      VT acc{};
+      if (dot(j, acc)) y.push(j, acc);
+    }
+    return y;
+  }
+  std::size_t mp = 0;
+  for (IT j = 0; j < a.ncols; ++j) {
+    while (mp < m.indices.size() && m.indices[mp] < j) ++mp;
+    if (mp < m.indices.size() && m.indices[mp] == j) continue;
+    VT acc{};
+    if (dot(j, acc)) y.push(j, acc);
+  }
+  return y;
+}
+
+}  // namespace msp

@@ -1,0 +1,105 @@
+// Mask Compressed Accumulator (MCA) row kernel — paper §5.4, Algorithm 3.
+// The novel accumulator designed specifically for Masked SpGEMM.
+//
+// Key observation: the accumulator can never hold more than nnz(M(i,:))
+// entries, so `values`/`states` are sized by the mask row, not by ncols(B).
+// Keys are *mask positions* (the rank of a column within the mask row), not
+// column indices; ranks are recovered for free by merging each selected row
+// of B against the sorted mask row. Only two states are needed — ALLOWED and
+// SET — because every representable key is by construction in the mask.
+// MCA does not support complemented masks (paper §8.4 excludes it from
+// betweenness centrality for this reason).
+#pragma once
+
+#include <vector>
+
+#include "core/accumulator.hpp"
+#include "matrix/csr.hpp"
+#include "semiring/semiring.hpp"
+#include "util/common.hpp"
+
+namespace msp {
+
+template <Semiring SR, class IT, class VT, class MT>
+class McaKernel {
+ public:
+  McaKernel(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+            const CsrMatrix<IT, MT>& m, bool complemented)
+      : a_(a), b_(b), m_(m) {
+    if (complemented) {
+      throw invalid_argument_error(
+          "MCA does not support complemented masks");
+    }
+  }
+
+  IT numeric_row(IT i, IT* out_cols, VT* out_vals) {
+    return row<true>(i, out_cols, out_vals);
+  }
+
+  IT symbolic_row(IT i) { return row<false>(i, nullptr, nullptr); }
+
+ private:
+  /// Grow the position-indexed arrays; states start (and are always left)
+  /// in the ALLOWED state, the gather pass restores the invariant.
+  void reserve_row(std::size_t mask_nnz) {
+    if (set_.size() < mask_nnz) {
+      set_.assign(mask_nnz, 0);
+      values_.resize(mask_nnz);
+    }
+  }
+
+  template <bool Numeric>
+  IT row(IT i, IT* out_cols, VT* out_vals) {
+    const auto mcols = m_.row_cols(i);
+    if (mcols.empty()) return 0;
+    reserve_row(mcols.size());
+    for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
+      const IT k = a_.colids[p];
+      IT q = b_.rowptr[k];
+      const IT qe = b_.rowptr[k + 1];
+      if (q == qe) continue;
+      const VT av = a_.values[p];
+      // Two-pointer merge of the sorted mask row with B(k,:); `idx` is the
+      // mask position and doubles as the accumulator key (Algorithm 3).
+      for (std::size_t idx = 0; idx < mcols.size(); ++idx) {
+        const IT j = mcols[idx];
+        while (q < qe && b_.colids[q] < j) ++q;
+        if (q == qe) break;
+        if (b_.colids[q] == j) {
+          if constexpr (Numeric) {
+            if (set_[idx]) {
+              values_[idx] =
+                  SR::add(values_[idx], SR::multiply(av, b_.values[q]));
+            } else {
+              values_[idx] = SR::multiply(av, b_.values[q]);
+              set_[idx] = 1;
+            }
+          } else {
+            set_[idx] = 1;
+          }
+        }
+      }
+    }
+    IT cnt = 0;
+    for (std::size_t idx = 0; idx < mcols.size(); ++idx) {
+      if (set_[idx]) {
+        if constexpr (Numeric) {
+          out_cols[cnt] = mcols[idx];
+          out_vals[cnt] = values_[idx];
+        }
+        ++cnt;
+        set_[idx] = 0;  // restore ALLOWED for the next row
+      }
+    }
+    return cnt;
+  }
+
+  const CsrMatrix<IT, VT>& a_;
+  const CsrMatrix<IT, VT>& b_;
+  const CsrMatrix<IT, MT>& m_;
+
+  std::vector<char> set_;  // 0 = ALLOWED, 1 = SET (two-state automaton)
+  std::vector<VT> values_;
+};
+
+}  // namespace msp

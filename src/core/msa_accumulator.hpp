@@ -1,0 +1,173 @@
+// Masked Sparse Accumulator (MSA) row kernel — paper §5.2, Algorithm 2.
+//
+// Two dense arrays of length ncols(B): `values` holds accumulated products,
+// `states` the NOTALLOWED/ALLOWED/SET automaton. For the non-complemented
+// mask, the gather pass iterates the mask row, which simultaneously emits
+// SET entries (in mask order — stable/sorted) and resets every touched state
+// to NOTALLOWED, so no O(ncols) per-row reinitialization is needed.
+//
+// For the complemented mask (paper: "the default state becomes ALLOWED, and
+// for each element in the mask we invoke setNotAllowed"), dense epoch
+// counters replace the state bytes: a column is NOTALLOWED iff its
+// not-allowed stamp equals the current row epoch, and SET iff its set stamp
+// does. An insertion-order list of SET keys makes the gather proportional to
+// the row's output, not to ncols (the Gustavson trick the paper cites).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/accumulator.hpp"
+#include "matrix/csr.hpp"
+#include "semiring/semiring.hpp"
+#include "util/common.hpp"
+
+namespace msp {
+
+template <Semiring SR, class IT, class VT, class MT>
+class MsaKernel {
+ public:
+  MsaKernel(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+            const CsrMatrix<IT, MT>& m, bool complemented)
+      : a_(a), b_(b), m_(m), complemented_(complemented) {
+    const std::size_t n = static_cast<std::size_t>(b.ncols);
+    values_.resize(n);
+    if (complemented_) {
+      not_allowed_epoch_.assign(n, 0);
+      set_epoch_.assign(n, 0);
+    } else {
+      states_.assign(n, EntryState::kNotAllowed);
+    }
+  }
+
+  IT numeric_row(IT i, IT* out_cols, VT* out_vals) {
+    return complemented_ ? numeric_complement(i, out_cols, out_vals)
+                         : numeric_plain(i, out_cols, out_vals);
+  }
+
+  IT symbolic_row(IT i) {
+    return complemented_ ? symbolic_complement(i) : symbolic_plain(i);
+  }
+
+ private:
+  IT numeric_plain(IT i, IT* out_cols, VT* out_vals) {
+    const auto mcols = m_.row_cols(i);
+    if (mcols.empty()) return 0;
+    for (IT j : mcols) {
+      states_[static_cast<std::size_t>(j)] = EntryState::kAllowed;
+    }
+    for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
+      const IT k = a_.colids[p];
+      const VT av = a_.values[p];
+      for (IT q = b_.rowptr[k]; q < b_.rowptr[k + 1]; ++q) {
+        const std::size_t j = static_cast<std::size_t>(b_.colids[q]);
+        if (states_[j] == EntryState::kSet) {
+          values_[j] = SR::add(values_[j], SR::multiply(av, b_.values[q]));
+        } else if (states_[j] == EntryState::kAllowed) {
+          values_[j] = SR::multiply(av, b_.values[q]);
+          states_[j] = EntryState::kSet;
+        }
+      }
+    }
+    IT cnt = 0;
+    for (IT j : mcols) {
+      const std::size_t js = static_cast<std::size_t>(j);
+      if (states_[js] == EntryState::kSet) {
+        out_cols[cnt] = j;
+        out_vals[cnt] = values_[js];
+        ++cnt;
+      }
+      states_[js] = EntryState::kNotAllowed;
+    }
+    return cnt;
+  }
+
+  IT symbolic_plain(IT i) {
+    const auto mcols = m_.row_cols(i);
+    if (mcols.empty()) return 0;
+    for (IT j : mcols) {
+      states_[static_cast<std::size_t>(j)] = EntryState::kAllowed;
+    }
+    for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
+      const IT k = a_.colids[p];
+      for (IT q = b_.rowptr[k]; q < b_.rowptr[k + 1]; ++q) {
+        const std::size_t j = static_cast<std::size_t>(b_.colids[q]);
+        if (states_[j] == EntryState::kAllowed) states_[j] = EntryState::kSet;
+      }
+    }
+    IT cnt = 0;
+    for (IT j : mcols) {
+      const std::size_t js = static_cast<std::size_t>(j);
+      if (states_[js] == EntryState::kSet) ++cnt;
+      states_[js] = EntryState::kNotAllowed;
+    }
+    return cnt;
+  }
+
+  IT numeric_complement(IT i, IT* out_cols, VT* out_vals) {
+    begin_complement_row(i);
+    for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
+      const IT k = a_.colids[p];
+      const VT av = a_.values[p];
+      for (IT q = b_.rowptr[k]; q < b_.rowptr[k + 1]; ++q) {
+        const std::size_t j = static_cast<std::size_t>(b_.colids[q]);
+        if (not_allowed_epoch_[j] == epoch_) continue;
+        if (set_epoch_[j] == epoch_) {
+          values_[j] = SR::add(values_[j], SR::multiply(av, b_.values[q]));
+        } else {
+          set_epoch_[j] = epoch_;
+          values_[j] = SR::multiply(av, b_.values[q]);
+          inserted_.push_back(b_.colids[q]);
+        }
+      }
+    }
+    std::sort(inserted_.begin(), inserted_.end());
+    IT cnt = 0;
+    for (IT j : inserted_) {
+      out_cols[cnt] = j;
+      out_vals[cnt] = values_[static_cast<std::size_t>(j)];
+      ++cnt;
+    }
+    return cnt;
+  }
+
+  IT symbolic_complement(IT i) {
+    begin_complement_row(i);
+    IT cnt = 0;
+    for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
+      const IT k = a_.colids[p];
+      for (IT q = b_.rowptr[k]; q < b_.rowptr[k + 1]; ++q) {
+        const std::size_t j = static_cast<std::size_t>(b_.colids[q]);
+        if (not_allowed_epoch_[j] == epoch_ || set_epoch_[j] == epoch_) {
+          continue;
+        }
+        set_epoch_[j] = epoch_;
+        ++cnt;
+      }
+    }
+    return cnt;
+  }
+
+  void begin_complement_row(IT i) {
+    ++epoch_;
+    inserted_.clear();
+    for (IT j : m_.row_cols(i)) {
+      not_allowed_epoch_[static_cast<std::size_t>(j)] = epoch_;
+    }
+  }
+
+  const CsrMatrix<IT, VT>& a_;
+  const CsrMatrix<IT, VT>& b_;
+  const CsrMatrix<IT, MT>& m_;
+  const bool complemented_;
+
+  std::vector<VT> values_;
+  std::vector<EntryState> states_;             // non-complemented path
+  std::vector<std::uint32_t> not_allowed_epoch_;  // complemented path
+  std::vector<std::uint32_t> set_epoch_;
+  std::vector<IT> inserted_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace msp

@@ -1,0 +1,35 @@
+// Masked SpGEVM: v⊺ = m⊺ ⊙ (u⊺·B) — the row-vector primitive the paper's
+// §5 uses to describe every algorithm ("extrapolating Masked SpGEVM
+// algorithms to devise Masked SpGEMM algorithms is straightforward"; this
+// library goes the other way and exposes the vector form on top of the row
+// kernels, so the two are consistent by construction).
+#pragma once
+
+#include "core/masked_spgemm.hpp"
+#include "matrix/sparse_vector.hpp"
+#include "semiring/semiring.hpp"
+
+namespace msp {
+
+/// v = m ⊙ (u·B) (or ¬m ⊙ (u·B)) on semiring SR. `u` and `m` must be
+/// canonical sparse vectors of dimension nrows(B) and ncols(B) respectively.
+template <Semiring SR, class IT, class VT, class MT>
+SparseVector<IT, VT> masked_spgevm(const SparseVector<IT, VT>& u,
+                                   const CsrMatrix<IT, VT>& b,
+                                   const SparseVector<IT, MT>& m,
+                                   const MaskedSpgemmOptions& opt = {}) {
+  if (u.size != b.nrows) {
+    throw invalid_argument_error("masked_spgevm: u/B dimension mismatch");
+  }
+  if (m.size != b.ncols) {
+    throw invalid_argument_error("masked_spgevm: m/B dimension mismatch");
+  }
+  const CsrMatrix<IT, VT> u_row = vector_as_row_matrix(u);
+  // Reuse the mask's pattern as a 1×n CSR; values are never read.
+  SparseVector<IT, MT> mask_pattern = m;
+  const CsrMatrix<IT, MT> m_row = vector_as_row_matrix(mask_pattern);
+  const CsrMatrix<IT, VT> result = masked_multiply<SR>(u_row, b, m_row, opt);
+  return row_as_vector(result, IT{0});
+}
+
+}  // namespace msp

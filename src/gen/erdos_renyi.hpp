@@ -1,0 +1,73 @@
+// Erdős-Rényi G(n, p) generator — the controlled-experiment workload of
+// paper §8.1 (Fig. 7), where mask and input densities are swept
+// independently. Parameterized by expected average degree d (p = d/n).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "gen/rng.hpp"
+#include "matrix/csr.hpp"
+#include "util/common.hpp"
+
+namespace msp {
+
+/// Sample an n×n Erdős-Rényi matrix with expected `degree` nonzeros per row.
+///
+/// Per-row geometric skipping gives O(nnz) time instead of O(n²): within a
+/// row, the gap to the next sampled column is geometrically distributed with
+/// parameter p, so column j is included independently with probability p.
+/// Rows are generated on independent RNG streams, which makes the result
+/// deterministic in (n, degree, seed) regardless of thread count.
+template <class IT = index_t, class VT = double>
+CsrMatrix<IT, VT> erdos_renyi(IT n, double degree, std::uint64_t seed,
+                              VT value = VT{1}) {
+  if (n < 0) throw invalid_argument_error("erdos_renyi: negative n");
+  if (degree < 0.0) {
+    throw invalid_argument_error("erdos_renyi: negative degree");
+  }
+  const double p =
+      n > 0 ? std::min(1.0, degree / static_cast<double>(n)) : 0.0;
+
+  std::vector<std::vector<IT>> row_cols(static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(dynamic, 512)
+  for (IT i = 0; i < n; ++i) {
+    Xoshiro256 rng(seed, static_cast<std::uint64_t>(i));
+    auto& cols = row_cols[static_cast<std::size_t>(i)];
+    if (p >= 1.0) {
+      cols.resize(static_cast<std::size_t>(n));
+      for (IT j = 0; j < n; ++j) cols[static_cast<std::size_t>(j)] = j;
+      continue;
+    }
+    if (p <= 0.0) continue;
+    const double inv_log1mp = 1.0 / std::log1p(-p);
+    // Standard skip sampling: next = cur + 1 + floor(log(u) / log(1-p)).
+    double j = -1.0;
+    for (;;) {
+      const double u = std::max(rng.next_double(), 1e-300);
+      j += 1.0 + std::floor(std::log(u) * inv_log1mp);
+      if (j >= static_cast<double>(n)) break;
+      cols.push_back(static_cast<IT>(j));
+    }
+  }
+
+  CsrMatrix<IT, VT> out(n, n);
+  std::size_t total = 0;
+  for (IT i = 0; i < n; ++i) {
+    total += row_cols[static_cast<std::size_t>(i)].size();
+    out.rowptr[static_cast<std::size_t>(i) + 1] = static_cast<IT>(total);
+  }
+  out.colids.resize(total);
+  out.values.resize(total, value);
+#pragma omp parallel for schedule(static)
+  for (IT i = 0; i < n; ++i) {
+    const auto& cols = row_cols[static_cast<std::size_t>(i)];
+    std::copy(cols.begin(), cols.end(),
+              out.colids.begin() + out.rowptr[static_cast<std::size_t>(i)]);
+  }
+  MSP_ASSERT(out.check_structure());
+  return out;
+}
+
+}  // namespace msp

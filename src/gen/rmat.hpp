@@ -1,0 +1,109 @@
+// R-MAT recursive matrix generator (Chakrabarti, Zhan & Faloutsos) with the
+// Graph500 parameters a=0.57, b=0.19, c=0.19, d=0.05 — the scale-sweep
+// workload of paper Figs. 10, 11, 14, 15. "Scale" s means n = 2^s vertices;
+// edge factor is edges per vertex (Graph500 uses 16).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "gen/rng.hpp"
+#include "matrix/convert.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+#include "util/common.hpp"
+
+namespace msp {
+
+/// R-MAT quadrant probabilities. Defaults are the Graph500 values.
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  /// d is implied: 1 - a - b - c.
+  std::uint64_t seed = 1;
+  /// Perturb quadrant probabilities per level, as Graph500 does, to avoid
+  /// exact self-similarity artifacts.
+  bool noise = true;
+};
+
+/// Generate an R-MAT edge list of 2^scale vertices and
+/// edge_factor * 2^scale directed edges (duplicates and self-loops included,
+/// as produced by the recursive process). Deterministic in (params, scale,
+/// edge_factor) regardless of thread count: each edge gets its own RNG
+/// stream.
+template <class IT = index_t, class VT = double>
+CooMatrix<IT, VT> rmat_edges(int scale, double edge_factor,
+                             const RmatParams& params = {}) {
+  if (scale < 0 || scale > 30) {
+    throw invalid_argument_error("rmat_edges: scale out of range [0, 30]");
+  }
+  if (edge_factor < 0) {
+    throw invalid_argument_error("rmat_edges: negative edge factor");
+  }
+  const IT n = static_cast<IT>(IT{1} << scale);
+  const std::size_t m = static_cast<std::size_t>(
+      edge_factor * static_cast<double>(n) + 0.5);
+  CooMatrix<IT, VT> coo(n, n);
+  coo.entries.resize(m);
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t e = 0; e < m; ++e) {
+    Xoshiro256 rng(params.seed, static_cast<std::uint64_t>(e));
+    IT row = 0;
+    IT col = 0;
+    for (int level = 0; level < scale; ++level) {
+      double a = params.a, b = params.b, c = params.c;
+      if (params.noise) {
+        // +-5% multiplicative noise per level, renormalized.
+        const double na = a * (0.95 + 0.1 * rng.next_double());
+        const double nb = b * (0.95 + 0.1 * rng.next_double());
+        const double nc = c * (0.95 + 0.1 * rng.next_double());
+        const double nd = (1.0 - a - b - c) * (0.95 + 0.1 * rng.next_double());
+        const double norm = na + nb + nc + nd;
+        a = na / norm;
+        b = nb / norm;
+        c = nc / norm;
+      }
+      const double u = rng.next_double();
+      row <<= 1;
+      col <<= 1;
+      if (u < a) {
+        // top-left quadrant: nothing to add
+      } else if (u < a + b) {
+        col |= 1;
+      } else if (u < a + b + c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    coo.entries[e] = {row, col, VT{1}};
+  }
+  return coo;
+}
+
+/// R-MAT adjacency matrix as used by the paper's graph benchmarks:
+/// symmetrized, self-loops removed, duplicate edges combined to a single
+/// entry of value 1 (pattern semantics).
+template <class IT = index_t, class VT = double>
+CsrMatrix<IT, VT> rmat_graph(int scale, double edge_factor,
+                             const RmatParams& params = {}) {
+  CooMatrix<IT, VT> coo = rmat_edges<IT, VT>(scale, edge_factor, params);
+  // Symmetrize by mirroring every edge, drop self-loops, dedup to value 1.
+  const std::size_t m = coo.entries.size();
+  coo.entries.reserve(2 * m);
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto t = coo.entries[e];
+    if (t.row != t.col) coo.entries.push_back({t.col, t.row, t.val});
+  }
+  std::erase_if(coo.entries,
+                [](const auto& t) { return t.row == t.col; });
+  CsrMatrix<IT, VT> a = coo_to_csr(
+      std::move(coo), [](const VT&, const VT&) { return VT{1}; });
+  return a;
+}
+
+}  // namespace msp

@@ -1,0 +1,75 @@
+// Deterministic, splittable pseudo-random number generation for the graph
+// generators. We use xoshiro256** seeded through splitmix64 so that every
+// (seed, stream) pair yields an independent, reproducible sequence —
+// generators hand one stream to each OpenMP thread.
+#pragma once
+
+#include <cstdint>
+
+namespace msp {
+
+/// splitmix64: seed expander (Vigna). One 64-bit state, passes BigCrush.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: general-purpose 256-bit-state generator (Blackman & Vigna).
+class Xoshiro256 {
+ public:
+  /// Seed deterministically from a (seed, stream) pair; distinct streams are
+  /// statistically independent for all practical purposes.
+  explicit Xoshiro256(std::uint64_t seed, std::uint64_t stream = 0) {
+    SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+    for (auto& s : s_) s = sm.next();
+  }
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift (unbiased
+  /// enough for graph generation; bound is far below 2^64).
+  std::uint64_t next_below(std::uint64_t bound) {
+    // 128-bit multiply keeps the modulo bias negligible for bound << 2^64.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace msp

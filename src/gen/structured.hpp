@@ -1,0 +1,141 @@
+// Deterministic structured graph generators with known closed-form
+// properties — used by the test suite as oracles (triangle counts, truss
+// membership, centrality values are known analytically) and by the benchmark
+// corpus to cover the mesh-like end of the density spectrum.
+#pragma once
+
+#include <vector>
+
+#include "matrix/convert.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+#include "util/common.hpp"
+
+namespace msp {
+
+/// Complete graph K_n (no self-loops). C(n,3) triangles; K_n is a k-truss
+/// for every k <= n.
+template <class IT = index_t, class VT = double>
+CsrMatrix<IT, VT> complete_graph(IT n) {
+  if (n < 0) throw invalid_argument_error("complete_graph: negative n");
+  CooMatrix<IT, VT> coo(n, n);
+  coo.entries.reserve(static_cast<std::size_t>(n) *
+                      static_cast<std::size_t>(n > 0 ? n - 1 : 0));
+  for (IT i = 0; i < n; ++i) {
+    for (IT j = 0; j < n; ++j) {
+      if (i != j) coo.push(i, j, VT{1});
+    }
+  }
+  return coo_to_csr(std::move(coo));
+}
+
+/// Cycle graph C_n: every vertex connected to its two ring neighbours.
+/// Triangle-free for n >= 4.
+template <class IT = index_t, class VT = double>
+CsrMatrix<IT, VT> cycle_graph(IT n) {
+  if (n < 0) throw invalid_argument_error("cycle_graph: negative n");
+  CooMatrix<IT, VT> coo(n, n);
+  if (n >= 2) {
+    for (IT i = 0; i < n; ++i) {
+      const IT next = (i + 1) % n;
+      if (next != i) {
+        coo.push(i, next, VT{1});
+        coo.push(next, i, VT{1});
+      }
+    }
+  }
+  return coo_to_csr(std::move(coo),
+                    [](const VT&, const VT&) { return VT{1}; });
+}
+
+/// Path graph P_n: 0-1-2-...-(n-1). Triangle-free; closed-form betweenness.
+template <class IT = index_t, class VT = double>
+CsrMatrix<IT, VT> path_graph(IT n) {
+  if (n < 0) throw invalid_argument_error("path_graph: negative n");
+  CooMatrix<IT, VT> coo(n, n);
+  for (IT i = 0; i + 1 < n; ++i) {
+    coo.push(i, i + 1, VT{1});
+    coo.push(i + 1, i, VT{1});
+  }
+  return coo_to_csr(std::move(coo));
+}
+
+/// Star graph S_n: vertex 0 connected to vertices 1..n-1. Triangle-free; the
+/// hub lies on every shortest path between leaves.
+template <class IT = index_t, class VT = double>
+CsrMatrix<IT, VT> star_graph(IT n) {
+  if (n < 0) throw invalid_argument_error("star_graph: negative n");
+  CooMatrix<IT, VT> coo(n, n);
+  for (IT i = 1; i < n; ++i) {
+    coo.push(IT{0}, i, VT{1});
+    coo.push(i, IT{0}, VT{1});
+  }
+  return coo_to_csr(std::move(coo));
+}
+
+/// 2-D grid graph of rows×cols vertices with 4-neighbour connectivity.
+/// Triangle-free; stands in for the mesh/road entries of the paper corpus.
+template <class IT = index_t, class VT = double>
+CsrMatrix<IT, VT> grid_graph(IT rows, IT cols) {
+  if (rows < 0 || cols < 0) {
+    throw invalid_argument_error("grid_graph: negative dimension");
+  }
+  const IT n = rows * cols;
+  CooMatrix<IT, VT> coo(n, n);
+  auto id = [cols](IT r, IT c) { return r * cols + c; };
+  for (IT r = 0; r < rows; ++r) {
+    for (IT c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        coo.push(id(r, c), id(r, c + 1), VT{1});
+        coo.push(id(r, c + 1), id(r, c), VT{1});
+      }
+      if (r + 1 < rows) {
+        coo.push(id(r, c), id(r + 1, c), VT{1});
+        coo.push(id(r + 1, c), id(r, c), VT{1});
+      }
+    }
+  }
+  return coo_to_csr(std::move(coo));
+}
+
+/// Petersen graph: the classic 10-vertex, 15-edge, girth-5 (triangle-free)
+/// 3-regular graph. A standard adversarial test case.
+template <class IT = index_t, class VT = double>
+CsrMatrix<IT, VT> petersen_graph() {
+  CooMatrix<IT, VT> coo(IT{10}, IT{10});
+  auto edge = [&coo](IT u, IT v) {
+    coo.push(u, v, VT{1});
+    coo.push(v, u, VT{1});
+  };
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5.
+  for (IT i = 0; i < 5; ++i) {
+    edge(i, (i + 1) % 5);
+    edge(i + 5, (i + 2) % 5 + 5);
+    edge(i, i + 5);
+  }
+  return coo_to_csr(std::move(coo));
+}
+
+/// Two complete graphs K_m joined by a single bridge edge — useful for
+/// k-truss (the bridge is never in any truss) and betweenness (bridge
+/// endpoints have maximal centrality).
+template <class IT = index_t, class VT = double>
+CsrMatrix<IT, VT> barbell_graph(IT m) {
+  if (m < 1) throw invalid_argument_error("barbell_graph: m must be >= 1");
+  const IT n = 2 * m;
+  CooMatrix<IT, VT> coo(n, n);
+  for (IT i = 0; i < m; ++i) {
+    for (IT j = 0; j < m; ++j) {
+      if (i != j) {
+        coo.push(i, j, VT{1});
+        coo.push(m + i, m + j, VT{1});
+      }
+    }
+  }
+  coo.push(m - 1, m, VT{1});
+  coo.push(m, m - 1, VT{1});
+  return coo_to_csr(std::move(coo),
+                    [](const VT&, const VT&) { return VT{1}; });
+}
+
+}  // namespace msp

@@ -1,0 +1,137 @@
+// Format conversions: COO ↔ CSR ↔ CSC, transpose. All build sorted,
+// duplicate-free outputs; counting-sort based, parallel where it pays off.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "matrix/coo.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+#include "util/common.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace msp {
+
+/// Build a CSR matrix from COO. Duplicates are combined with `combine`
+/// (default: addition). The input need not be sorted.
+template <class IT, class VT, class Combine = std::plus<VT>>
+CsrMatrix<IT, VT> coo_to_csr(CooMatrix<IT, VT> coo,
+                             Combine combine = Combine{}) {
+  coo.sort_and_combine(combine);
+  CsrMatrix<IT, VT> out(coo.nrows, coo.ncols);
+  out.colids.resize(coo.nnz());
+  out.values.resize(coo.nnz());
+  std::vector<IT> counts(static_cast<std::size_t>(coo.nrows), 0);
+  for (const auto& t : coo.entries) ++counts[static_cast<std::size_t>(t.row)];
+  IT total = exclusive_prefix_sum(counts);
+  MSP_ASSERT(static_cast<std::size_t>(total) == coo.nnz());
+  (void)total;
+  for (IT i = 0; i < coo.nrows; ++i) out.rowptr[i] = counts[i];
+  out.rowptr[coo.nrows] = static_cast<IT>(coo.nnz());
+  // Entries are already sorted row-major, so a straight copy preserves
+  // per-row column order.
+  for (std::size_t p = 0; p < coo.entries.size(); ++p) {
+    out.colids[p] = coo.entries[p].col;
+    out.values[p] = coo.entries[p].val;
+  }
+  MSP_ASSERT(out.check_structure());
+  return out;
+}
+
+/// Build a CSC matrix from COO (duplicates combined, input order free).
+template <class IT, class VT, class Combine = std::plus<VT>>
+CscMatrix<IT, VT> coo_to_csc(CooMatrix<IT, VT> coo,
+                             Combine combine = Combine{}) {
+  coo.sort_and_combine(combine);
+  CscMatrix<IT, VT> out(coo.nrows, coo.ncols);
+  out.rowids.resize(coo.nnz());
+  out.values.resize(coo.nnz());
+  std::vector<IT> next(static_cast<std::size_t>(coo.ncols), 0);
+  for (const auto& t : coo.entries) ++next[static_cast<std::size_t>(t.col)];
+  exclusive_prefix_sum(next);
+  for (IT j = 0; j < coo.ncols; ++j) out.colptr[j] = next[j];
+  out.colptr[coo.ncols] = static_cast<IT>(coo.nnz());
+  // Scattering row-major-sorted entries column-by-column keeps each column's
+  // row indices sorted.
+  for (const auto& t : coo.entries) {
+    const std::size_t pos = static_cast<std::size_t>(next[t.col]++);
+    out.rowids[pos] = t.row;
+    out.values[pos] = t.val;
+  }
+  MSP_ASSERT(out.check_structure());
+  return out;
+}
+
+/// CSR → COO (canonical order).
+template <class IT, class VT>
+CooMatrix<IT, VT> csr_to_coo(const CsrMatrix<IT, VT>& a) {
+  CooMatrix<IT, VT> out(a.nrows, a.ncols);
+  out.entries.reserve(a.nnz());
+  for (IT i = 0; i < a.nrows; ++i) {
+    for (IT p = a.rowptr[i]; p < a.rowptr[i + 1]; ++p) {
+      out.entries.push_back({i, a.colids[p], a.values[p]});
+    }
+  }
+  return out;
+}
+
+/// CSR → CSC of the same matrix (no transposition of content). Parallel
+/// counting pass + serial scatter; the scatter preserves sortedness.
+template <class IT, class VT>
+CscMatrix<IT, VT> csr_to_csc(const CsrMatrix<IT, VT>& a) {
+  CscMatrix<IT, VT> out(a.nrows, a.ncols);
+  out.rowids.resize(a.nnz());
+  out.values.resize(a.nnz());
+  std::vector<IT> next(static_cast<std::size_t>(a.ncols), 0);
+  for (std::size_t p = 0; p < a.nnz(); ++p) {
+    ++next[static_cast<std::size_t>(a.colids[p])];
+  }
+  exclusive_prefix_sum(next);
+  for (IT j = 0; j < a.ncols; ++j) out.colptr[j] = next[j];
+  out.colptr[a.ncols] = static_cast<IT>(a.nnz());
+  for (IT i = 0; i < a.nrows; ++i) {
+    for (IT p = a.rowptr[i]; p < a.rowptr[i + 1]; ++p) {
+      const std::size_t pos = static_cast<std::size_t>(next[a.colids[p]]++);
+      out.rowids[pos] = i;
+      out.values[pos] = a.values[p];
+    }
+  }
+  MSP_ASSERT(out.check_structure());
+  return out;
+}
+
+/// CSC → CSR of the same matrix.
+template <class IT, class VT>
+CsrMatrix<IT, VT> csc_to_csr(const CscMatrix<IT, VT>& a) {
+  CsrMatrix<IT, VT> out(a.nrows, a.ncols);
+  out.colids.resize(a.nnz());
+  out.values.resize(a.nnz());
+  std::vector<IT> next(static_cast<std::size_t>(a.nrows), 0);
+  for (std::size_t p = 0; p < a.nnz(); ++p) {
+    ++next[static_cast<std::size_t>(a.rowids[p])];
+  }
+  exclusive_prefix_sum(next);
+  for (IT i = 0; i < a.nrows; ++i) out.rowptr[i] = next[i];
+  out.rowptr[a.nrows] = static_cast<IT>(a.nnz());
+  for (IT j = 0; j < a.ncols; ++j) {
+    for (IT p = a.colptr[j]; p < a.colptr[j + 1]; ++p) {
+      const std::size_t pos = static_cast<std::size_t>(next[a.rowids[p]]++);
+      out.colids[pos] = j;
+      out.values[pos] = a.values[p];
+    }
+  }
+  MSP_ASSERT(out.check_structure());
+  return out;
+}
+
+/// Transpose: CSR of Aᵀ. Equivalent to reinterpreting csr_to_csc(a)'s arrays
+/// as CSR of the transpose.
+template <class IT, class VT>
+CsrMatrix<IT, VT> transpose(const CsrMatrix<IT, VT>& a) {
+  CscMatrix<IT, VT> csc = csr_to_csc(a);
+  return CsrMatrix<IT, VT>(a.ncols, a.nrows, std::move(csc.colptr),
+                           std::move(csc.rowids), std::move(csc.values));
+}
+
+}  // namespace msp

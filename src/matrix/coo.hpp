@@ -1,0 +1,85 @@
+// Coordinate-format sparse matrix: the interchange format produced by the
+// graph generators and the Matrix Market reader, and consumed by the CSR/CSC
+// builders in matrix/convert.hpp.
+#pragma once
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace msp {
+
+/// One nonzero entry of a COO matrix.
+template <class IT, class VT>
+struct Triple {
+  IT row;
+  IT col;
+  VT val;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.row == b.row && a.col == b.col && a.val == b.val;
+  }
+};
+
+/// Coordinate-format (triplet) sparse matrix.
+///
+/// Entries may be unsorted and may contain duplicates; `sort_and_combine`
+/// canonicalizes. All conversions to CSR/CSC accept either state.
+template <class IT = index_t, class VT = double>
+struct CooMatrix {
+  using index_type = IT;
+  using value_type = VT;
+
+  IT nrows = 0;
+  IT ncols = 0;
+  std::vector<Triple<IT, VT>> entries;
+
+  CooMatrix() = default;
+  CooMatrix(IT rows, IT cols) : nrows(rows), ncols(cols) {
+    if (rows < 0 || cols < 0) {
+      throw invalid_argument_error("CooMatrix: negative dimension");
+    }
+  }
+
+  [[nodiscard]] std::size_t nnz() const { return entries.size(); }
+
+  /// Append one entry (bounds-checked in debug builds).
+  void push(IT r, IT c, VT v) {
+    MSP_ASSERT(r >= 0 && r < nrows && c >= 0 && c < ncols);
+    entries.push_back({r, c, v});
+  }
+
+  /// Sort row-major and merge duplicate coordinates with `combine`
+  /// (defaults to addition, the GraphBLAS "dup" convention).
+  template <class Combine = std::plus<VT>>
+  void sort_and_combine(Combine combine = Combine{}) {
+    std::sort(entries.begin(), entries.end(),
+              [](const Triple<IT, VT>& a, const Triple<IT, VT>& b) {
+                return std::tie(a.row, a.col) < std::tie(b.row, b.col);
+              });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (out > 0 && entries[out - 1].row == entries[i].row &&
+          entries[out - 1].col == entries[i].col) {
+        entries[out - 1].val = combine(entries[out - 1].val, entries[i].val);
+      } else {
+        entries[out++] = entries[i];
+      }
+    }
+    entries.resize(out);
+  }
+
+  /// True if entries are sorted row-major with no duplicate coordinates.
+  [[nodiscard]] bool is_canonical() const {
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      const auto& p = entries[i - 1];
+      const auto& q = entries[i];
+      if (std::tie(p.row, p.col) >= std::tie(q.row, q.col)) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace msp

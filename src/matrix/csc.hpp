@@ -1,0 +1,96 @@
+// Compressed Sparse Column matrix — used by the pull-based inner-product
+// kernel, which wants B's columns contiguous (paper §4.1: "A in CSR and B in
+// CSC"). Row indices within each column are kept sorted.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace msp {
+
+template <class IT = index_t, class VT = double>
+struct CscMatrix {
+  using index_type = IT;
+  using value_type = VT;
+
+  IT nrows = 0;
+  IT ncols = 0;
+  /// colptr.size() == ncols + 1 (also for empty matrices).
+  std::vector<IT> colptr{0};
+  std::vector<IT> rowids;
+  std::vector<VT> values;
+
+  CscMatrix() = default;
+
+  CscMatrix(IT rows, IT cols)
+      : nrows(rows), ncols(cols), colptr(checked_extent(rows, cols), 0) {}
+
+  CscMatrix(IT rows, IT cols, std::vector<IT> cp, std::vector<IT> ri,
+            std::vector<VT> va)
+      : nrows(rows),
+        ncols(cols),
+        colptr(std::move(cp)),
+        rowids(std::move(ri)),
+        values(std::move(va)) {
+    MSP_ASSERT(check_structure());
+  }
+
+  [[nodiscard]] std::size_t nnz() const { return rowids.size(); }
+
+  [[nodiscard]] IT col_nnz(IT j) const {
+    MSP_ASSERT(j >= 0 && j < ncols);
+    return colptr[static_cast<std::size_t>(j) + 1] -
+           colptr[static_cast<std::size_t>(j)];
+  }
+
+  /// Row indices of column j as a span (sorted ascending).
+  [[nodiscard]] std::span<const IT> col_rows(IT j) const {
+    MSP_ASSERT(j >= 0 && j < ncols);
+    return {rowids.data() + colptr[static_cast<std::size_t>(j)],
+            static_cast<std::size_t>(col_nnz(j))};
+  }
+
+  /// Values of column j as a span, parallel to col_rows(j).
+  [[nodiscard]] std::span<const VT> col_vals(IT j) const {
+    MSP_ASSERT(j >= 0 && j < ncols);
+    return {values.data() + colptr[static_cast<std::size_t>(j)],
+            static_cast<std::size_t>(col_nnz(j))};
+  }
+
+  [[nodiscard]] bool check_structure() const {
+    if (colptr.size() != static_cast<std::size_t>(ncols) + 1) return false;
+    if (colptr.front() != 0) return false;
+    if (static_cast<std::size_t>(colptr.back()) != rowids.size()) return false;
+    if (rowids.size() != values.size()) return false;
+    for (IT j = 0; j < ncols; ++j) {
+      if (colptr[j] < 0) return false;
+      const std::size_t lo = static_cast<std::size_t>(colptr[j]);
+      const std::size_t hi = static_cast<std::size_t>(colptr[j + 1]);
+      if (hi < lo || hi > rowids.size()) return false;
+      for (std::size_t p = lo; p < hi; ++p) {
+        if (rowids[p] < 0 || rowids[p] >= nrows) return false;
+        if (p > lo && rowids[p] <= rowids[p - 1]) return false;
+      }
+    }
+    return true;
+  }
+
+  friend bool operator==(const CscMatrix& a, const CscMatrix& b) {
+    return a.nrows == b.nrows && a.ncols == b.ncols && a.colptr == b.colptr &&
+           a.rowids == b.rowids && a.values == b.values;
+  }
+
+ private:
+  /// Validate the shape before any allocation happens in the member
+  /// initializer list (a negative dimension must throw, not bad_alloc).
+  static std::size_t checked_extent(IT rows, IT cols) {
+    if (rows < 0 || cols < 0) {
+      throw invalid_argument_error("CscMatrix: negative dimension");
+    }
+    return static_cast<std::size_t>(cols) + 1;
+  }
+};
+
+}  // namespace msp

@@ -1,0 +1,106 @@
+// Doubly-Compressed Sparse Row (DCSR) — the hypersparse format of Buluç &
+// Gilbert (paper reference [10]; §2.1 lists it among the standard formats
+// and §3 notes SuiteSparse:GraphBLAS uses it for hypersparse matrices).
+// Only non-empty rows are represented: `rowids[r]` is the matrix row of the
+// r-th stored row and `rowptr[r]..rowptr[r+1]` delimits its entries. For
+// matrices with nnz ≪ nrows this shrinks the row-pointer array from
+// O(nrows) to O(number of non-empty rows).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "util/common.hpp"
+
+namespace msp {
+
+template <class IT = index_t, class VT = double>
+struct DcsrMatrix {
+  using index_type = IT;
+  using value_type = VT;
+
+  IT nrows = 0;
+  IT ncols = 0;
+  std::vector<IT> rowids;  ///< non-empty row indices, strictly increasing
+  std::vector<IT> rowptr;  ///< size rowids.size() + 1
+  std::vector<IT> colids;
+  std::vector<VT> values;
+
+  DcsrMatrix() : rowptr{0} {}
+
+  [[nodiscard]] std::size_t nnz() const { return colids.size(); }
+  [[nodiscard]] std::size_t nonempty_rows() const { return rowids.size(); }
+
+  /// Column indices of the r-th *stored* row.
+  [[nodiscard]] std::span<const IT> stored_row_cols(std::size_t r) const {
+    MSP_ASSERT(r < rowids.size());
+    return {colids.data() + rowptr[r],
+            static_cast<std::size_t>(rowptr[r + 1] - rowptr[r])};
+  }
+
+  [[nodiscard]] std::span<const VT> stored_row_vals(std::size_t r) const {
+    MSP_ASSERT(r < rowids.size());
+    return {values.data() + rowptr[r],
+            static_cast<std::size_t>(rowptr[r + 1] - rowptr[r])};
+  }
+
+  [[nodiscard]] bool check_structure() const {
+    if (rowptr.size() != rowids.size() + 1) return false;
+    if (rowptr.front() != 0) return false;
+    if (static_cast<std::size_t>(rowptr.back()) != colids.size()) return false;
+    if (colids.size() != values.size()) return false;
+    for (std::size_t r = 0; r < rowids.size(); ++r) {
+      if (rowids[r] < 0 || rowids[r] >= nrows) return false;
+      if (r > 0 && rowids[r] <= rowids[r - 1]) return false;
+      if (rowptr[r + 1] <= rowptr[r]) return false;  // stored rows non-empty
+      for (IT p = rowptr[r]; p < rowptr[r + 1]; ++p) {
+        if (colids[p] < 0 || colids[p] >= ncols) return false;
+        if (p > rowptr[r] && colids[p] <= colids[p - 1]) return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// CSR → DCSR (drops empty rows from the pointer structure).
+template <class IT, class VT>
+DcsrMatrix<IT, VT> csr_to_dcsr(const CsrMatrix<IT, VT>& a) {
+  DcsrMatrix<IT, VT> out;
+  out.nrows = a.nrows;
+  out.ncols = a.ncols;
+  out.colids = a.colids;
+  out.values = a.values;
+  for (IT i = 0; i < a.nrows; ++i) {
+    if (a.rowptr[i + 1] > a.rowptr[i]) {
+      out.rowids.push_back(i);
+      out.rowptr.push_back(a.rowptr[i + 1]);
+    }
+  }
+  // rowptr currently holds end offsets appended after the initial 0; the
+  // starts are the preceding ends, which is exactly the layout built above.
+  MSP_ASSERT(out.check_structure());
+  return out;
+}
+
+/// DCSR → CSR (re-materializes empty rows).
+template <class IT, class VT>
+CsrMatrix<IT, VT> dcsr_to_csr(const DcsrMatrix<IT, VT>& a) {
+  CsrMatrix<IT, VT> out(a.nrows, a.ncols);
+  out.colids = a.colids;
+  out.values = a.values;
+  std::size_t r = 0;
+  IT running = 0;
+  for (IT i = 0; i < a.nrows; ++i) {
+    if (r < a.rowids.size() && a.rowids[r] == i) {
+      running += a.rowptr[r + 1] - a.rowptr[r];
+      ++r;
+    }
+    out.rowptr[static_cast<std::size_t>(i) + 1] = running;
+  }
+  MSP_ASSERT(out.check_structure());
+  return out;
+}
+
+}  // namespace msp

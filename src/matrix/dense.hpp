@@ -1,0 +1,134 @@
+// Dense reference implementations used as test oracles. Deliberately simple
+// and obviously correct; quadratic/cubic costs are fine at test sizes.
+#pragma once
+
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "util/common.hpp"
+
+namespace msp {
+
+/// Row-major dense matrix for oracle computations.
+template <class VT>
+struct DenseMatrix {
+  std::size_t nrows = 0;
+  std::size_t ncols = 0;
+  std::vector<VT> data;          // nrows * ncols values
+  std::vector<char> present;     // 1 where a stored entry exists
+
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t r, std::size_t c)
+      : nrows(r), ncols(c), data(r * c, VT{}), present(r * c, 0) {}
+
+  VT& at(std::size_t i, std::size_t j) { return data[i * ncols + j]; }
+  const VT& at(std::size_t i, std::size_t j) const {
+    return data[i * ncols + j];
+  }
+  bool has(std::size_t i, std::size_t j) const {
+    return present[i * ncols + j] != 0;
+  }
+  void set(std::size_t i, std::size_t j, VT v) {
+    at(i, j) = v;
+    present[i * ncols + j] = 1;
+  }
+};
+
+template <class IT, class VT>
+DenseMatrix<VT> to_dense(const CsrMatrix<IT, VT>& a) {
+  DenseMatrix<VT> d(static_cast<std::size_t>(a.nrows),
+                    static_cast<std::size_t>(a.ncols));
+  for (IT i = 0; i < a.nrows; ++i) {
+    for (IT p = a.rowptr[i]; p < a.rowptr[i + 1]; ++p) {
+      d.set(static_cast<std::size_t>(i), static_cast<std::size_t>(a.colids[p]),
+            a.values[p]);
+    }
+  }
+  return d;
+}
+
+template <class IT, class VT>
+CsrMatrix<IT, VT> from_dense(const DenseMatrix<VT>& d) {
+  CsrMatrix<IT, VT> out(static_cast<IT>(d.nrows), static_cast<IT>(d.ncols));
+  for (std::size_t i = 0; i < d.nrows; ++i) {
+    for (std::size_t j = 0; j < d.ncols; ++j) {
+      if (d.has(i, j)) {
+        out.colids.push_back(static_cast<IT>(j));
+        out.values.push_back(d.at(i, j));
+      }
+    }
+    out.rowptr[i + 1] = static_cast<IT>(out.colids.size());
+  }
+  MSP_ASSERT(out.check_structure());
+  return out;
+}
+
+/// Reference masked product on a semiring: C = mask ⊙ (A·B), or
+/// C = ¬mask ⊙ (A·B) when `complemented`. Output entries exist exactly where
+/// the mask admits the position AND the semiring dot product over the shared
+/// dimension has at least one contributing pair (GraphBLAS structural
+/// semantics: an all-annihilator dot with no pairs produces no entry).
+template <class SR, class IT, class VT, class MT>
+CsrMatrix<IT, VT> reference_masked_multiply(const CsrMatrix<IT, VT>& a,
+                                            const CsrMatrix<IT, VT>& b,
+                                            const CsrMatrix<IT, MT>& mask,
+                                            bool complemented = false) {
+  if (a.ncols != b.nrows || mask.nrows != a.nrows || mask.ncols != b.ncols) {
+    throw invalid_argument_error("reference_masked_multiply: shape mismatch");
+  }
+  DenseMatrix<VT> da = to_dense(a);
+  DenseMatrix<VT> db = to_dense(b);
+  DenseMatrix<char> dm(static_cast<std::size_t>(mask.nrows),
+                       static_cast<std::size_t>(mask.ncols));
+  for (IT i = 0; i < mask.nrows; ++i) {
+    for (IT p = mask.rowptr[i]; p < mask.rowptr[i + 1]; ++p) {
+      dm.set(static_cast<std::size_t>(i),
+             static_cast<std::size_t>(mask.colids[p]), 1);
+    }
+  }
+  DenseMatrix<VT> dc(da.nrows, db.ncols);
+  for (std::size_t i = 0; i < da.nrows; ++i) {
+    for (std::size_t j = 0; j < db.ncols; ++j) {
+      const bool allowed = complemented ? !dm.has(i, j) : dm.has(i, j);
+      if (!allowed) continue;
+      VT acc = SR::add_identity();
+      bool any = false;
+      for (std::size_t k = 0; k < da.ncols; ++k) {
+        if (da.has(i, k) && db.has(k, j)) {
+          acc = SR::add(acc, SR::multiply(da.at(i, k), db.at(k, j)));
+          any = true;
+        }
+      }
+      if (any) dc.set(i, j, acc);
+    }
+  }
+  return from_dense<IT>(dc);
+}
+
+/// Reference plain product on a semiring (no mask).
+template <class SR, class IT, class VT>
+CsrMatrix<IT, VT> reference_multiply(const CsrMatrix<IT, VT>& a,
+                                     const CsrMatrix<IT, VT>& b) {
+  if (a.ncols != b.nrows) {
+    throw invalid_argument_error("reference_multiply: shape mismatch");
+  }
+  DenseMatrix<VT> da = to_dense(a);
+  DenseMatrix<VT> db = to_dense(b);
+  DenseMatrix<VT> dc(da.nrows, db.ncols);
+  for (std::size_t i = 0; i < da.nrows; ++i) {
+    for (std::size_t j = 0; j < db.ncols; ++j) {
+      VT acc = SR::add_identity();
+      bool any = false;
+      for (std::size_t k = 0; k < da.ncols; ++k) {
+        if (da.has(i, k) && db.has(k, j)) {
+          acc = SR::add(acc, SR::multiply(da.at(i, k), db.at(k, j)));
+          any = true;
+        }
+      }
+      if (any) dc.set(i, j, acc);
+    }
+  }
+  return from_dense<IT>(dc);
+}
+
+}  // namespace msp

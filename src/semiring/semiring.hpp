@@ -1,0 +1,92 @@
+// Semiring definitions in the GraphBLAS sense (paper §2): Masked SpGEMM is
+// parameterized on (add, multiply, add-identity). The arithmetic semiring is
+// used for most of the paper's discussion; the applications additionally use
+// boolean and counting ("pair") semirings.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <limits>
+
+namespace msp {
+
+/// A semiring provides an additive monoid and a multiplicative operator over
+/// `value_type`. All kernels in core/ are templated on this concept.
+template <class S>
+concept Semiring = requires(typename S::value_type a,
+                            typename S::value_type b) {
+  typename S::value_type;
+  { S::add_identity() } -> std::convertible_to<typename S::value_type>;
+  { S::add(a, b) } -> std::convertible_to<typename S::value_type>;
+  { S::multiply(a, b) } -> std::convertible_to<typename S::value_type>;
+};
+
+/// Arithmetic (+, ×) semiring — the paper's default.
+template <class T>
+struct PlusTimes {
+  using value_type = T;
+  static constexpr T add_identity() { return T{0}; }
+  static constexpr T add(T a, T b) { return a + b; }
+  static constexpr T multiply(T a, T b) { return a * b; }
+};
+
+/// Boolean (∨, ∧) semiring — reachability / BFS pattern computations.
+template <class T = bool>
+struct OrAnd {
+  using value_type = T;
+  static constexpr T add_identity() { return T{false}; }
+  static constexpr T add(T a, T b) { return a || b; }
+  static constexpr T multiply(T a, T b) { return a && b; }
+};
+
+/// Tropical (min, +) semiring — shortest paths.
+template <class T>
+struct MinPlus {
+  using value_type = T;
+  static constexpr T add_identity() { return std::numeric_limits<T>::max(); }
+  static constexpr T add(T a, T b) { return std::min(a, b); }
+  static constexpr T multiply(T a, T b) {
+    // Saturating addition so identity + x stays the identity.
+    if (a == add_identity() || b == add_identity()) return add_identity();
+    return a + b;
+  }
+};
+
+/// (+, first): multiply returns the left operand. Used when only A's values
+/// matter (e.g. dependency accumulation stages).
+template <class T>
+struct PlusFirst {
+  using value_type = T;
+  static constexpr T add_identity() { return T{0}; }
+  static constexpr T add(T a, T b) { return a + b; }
+  static constexpr T multiply(T a, T /*b*/) { return a; }
+};
+
+/// (+, second): multiply returns the right operand.
+template <class T>
+struct PlusSecond {
+  using value_type = T;
+  static constexpr T add_identity() { return T{0}; }
+  static constexpr T add(T a, T b) { return a + b; }
+  static constexpr T multiply(T /*a*/, T b) { return b; }
+};
+
+/// (+, pair): multiply is the constant 1, so the dot product counts
+/// contributing pairs. GraphBLAS calls this PLUS_PAIR; it is the semiring of
+/// choice for triangle counting and k-truss support computation.
+template <class T>
+struct PlusPair {
+  using value_type = T;
+  static constexpr T add_identity() { return T{0}; }
+  static constexpr T add(T a, T b) { return a + b; }
+  static constexpr T multiply(T /*a*/, T /*b*/) { return T{1}; }
+};
+
+static_assert(Semiring<PlusTimes<double>>);
+static_assert(Semiring<OrAnd<bool>>);
+static_assert(Semiring<MinPlus<int>>);
+static_assert(Semiring<PlusFirst<double>>);
+static_assert(Semiring<PlusSecond<double>>);
+static_assert(Semiring<PlusPair<long>>);
+
+}  // namespace msp

@@ -1,0 +1,58 @@
+// Parallel exclusive prefix sum — the glue of every two-phase SpGEMM
+// pipeline: symbolic row counts are prefix-summed into CSR row pointers.
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace msp {
+
+/// In-place exclusive prefix sum over `counts[0..n)`, returning the total.
+///
+/// After the call, counts[i] holds the sum of the original counts[0..i) and
+/// the grand total is returned (callers append it as the final CSR row
+/// pointer). Parallelized with a two-pass block algorithm when the input is
+/// large enough to amortize the fork/join.
+template <class T>
+T exclusive_prefix_sum(std::vector<T>& counts) {
+  const std::size_t n = counts.size();
+  constexpr std::size_t kSerialCutoff = 1 << 15;
+  if (n == 0) return T{0};
+  if (n < kSerialCutoff || max_threads() == 1) {
+    T running{0};
+    for (std::size_t i = 0; i < n; ++i) {
+      T c = counts[i];
+      counts[i] = running;
+      running += c;
+    }
+    return running;
+  }
+
+  const int nthreads = max_threads();
+  std::vector<T> block_sum(static_cast<std::size_t>(nthreads) + 1, T{0});
+#pragma omp parallel num_threads(nthreads)
+  {
+    const int tid = thread_id();
+    const std::size_t chunk = ceil_div(n, static_cast<std::size_t>(nthreads));
+    const std::size_t lo = std::min(n, chunk * static_cast<std::size_t>(tid));
+    const std::size_t hi = std::min(n, lo + chunk);
+    T local{0};
+    for (std::size_t i = lo; i < hi; ++i) local += counts[i];
+    block_sum[static_cast<std::size_t>(tid) + 1] = local;
+#pragma omp barrier
+#pragma omp single
+    {
+      for (int t = 0; t < nthreads; ++t) block_sum[t + 1] += block_sum[t];
+    }
+    T running = block_sum[tid];
+    for (std::size_t i = lo; i < hi; ++i) {
+      T c = counts[i];
+      counts[i] = running;
+      running += c;
+    }
+  }
+  return block_sum.back();
+}
+
+}  // namespace msp

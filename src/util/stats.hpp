@@ -1,0 +1,96 @@
+// Small statistics helpers for the benchmark harness: repetition summaries
+// and Dolan–Moré performance profiles (the plot type used by paper
+// Figs. 8, 9, 12, 13, 16).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace msp {
+
+/// Summary of repeated timing measurements.
+struct RunStats {
+  double min = std::numeric_limits<double>::infinity();
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  int reps = 0;
+};
+
+/// Compute min/max/mean/median of a sample vector (sorted copy internally).
+inline RunStats summarize(std::vector<double> samples) {
+  RunStats s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.reps = static_cast<int>(samples.size());
+  s.min = samples.front();
+  s.max = samples.back();
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  const std::size_t mid = samples.size() / 2;
+  s.median = (samples.size() % 2 == 1)
+                 ? samples[mid]
+                 : 0.5 * (samples[mid - 1] + samples[mid]);
+  return s;
+}
+
+/// One line of a performance profile: scheme is within factor `ratio` of the
+/// per-case best on `fraction` of the test cases.
+struct ProfilePoint {
+  double ratio;
+  double fraction;
+};
+
+/// Dolan–Moré performance profile for one scheme.
+///
+/// `times[s][c]` is the runtime of scheme `s` on case `c` (NaN/inf = did not
+/// run). Returns, for scheme `scheme`, the step function evaluated at the
+/// given ratio grid: the fraction of cases on which
+/// `times[scheme][c] <= ratio * min_s times[s][c]`.
+inline std::vector<ProfilePoint> performance_profile(
+    const std::vector<std::vector<double>>& times, std::size_t scheme,
+    const std::vector<double>& ratio_grid) {
+  if (times.empty()) return {};
+  const std::size_t ncases = times.front().size();
+  MSP_ASSERT(scheme < times.size());
+  std::vector<double> best(ncases, std::numeric_limits<double>::infinity());
+  for (const auto& row : times) {
+    MSP_ASSERT(row.size() == ncases);
+    for (std::size_t c = 0; c < ncases; ++c) {
+      if (std::isfinite(row[c]) && row[c] < best[c]) best[c] = row[c];
+    }
+  }
+  std::vector<ProfilePoint> out;
+  out.reserve(ratio_grid.size());
+  for (double ratio : ratio_grid) {
+    std::size_t hits = 0;
+    std::size_t valid = 0;
+    for (std::size_t c = 0; c < ncases; ++c) {
+      if (!std::isfinite(best[c])) continue;
+      ++valid;
+      const double t = times[scheme][c];
+      if (std::isfinite(t) && t <= ratio * best[c]) ++hits;
+    }
+    const double frac =
+        valid == 0 ? 0.0
+                   : static_cast<double>(hits) / static_cast<double>(valid);
+    out.push_back({ratio, frac});
+  }
+  return out;
+}
+
+/// Default ratio grid used by the figure benches (matches paper x-axes).
+inline std::vector<double> default_ratio_grid(double max_ratio = 2.4,
+                                              double step = 0.1) {
+  std::vector<double> grid;
+  for (double r = 1.0; r <= max_ratio + 1e-9; r += step) grid.push_back(r);
+  return grid;
+}
+
+}  // namespace msp

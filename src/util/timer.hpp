@@ -1,0 +1,56 @@
+// Wall-clock timing helpers used by the benchmark harness and examples.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace msp {
+
+/// Monotonic wall-clock stopwatch with double-precision second readout.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates split timings (e.g. symbolic vs numeric phase) by name-free
+/// slots; keeps the harness allocation-free in hot loops.
+class SplitTimer {
+ public:
+  void start() { timer_.reset(); }
+
+  /// Record the time since start()/last lap into slot `slot`.
+  void lap(int slot) {
+    if (slot >= 0 && slot < kSlots) total_[slot] += timer_.seconds();
+    timer_.reset();
+  }
+
+  [[nodiscard]] double total(int slot) const {
+    return (slot >= 0 && slot < kSlots) ? total_[slot] : 0.0;
+  }
+
+  void clear() {
+    for (double& t : total_) t = 0.0;
+  }
+
+ private:
+  static constexpr int kSlots = 8;
+  Timer timer_;
+  double total_[kSlots] = {};
+};
+
+}  // namespace msp

@@ -1,0 +1,76 @@
+// The benchmark harness is part of the reproducibility deliverable, so its
+// helpers get tests too: env configuration, timing, and the corpus.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "../bench/harness.hpp"
+
+namespace msp::bench {
+namespace {
+
+TEST(BenchHarness, EnvLongDefaultsAndParses) {
+  unsetenv("MSP_TEST_KNOB");
+  EXPECT_EQ(env_long("MSP_TEST_KNOB", 7), 7);
+  setenv("MSP_TEST_KNOB", "42", 1);
+  EXPECT_EQ(env_long("MSP_TEST_KNOB", 7), 42);
+  setenv("MSP_TEST_KNOB", "", 1);
+  EXPECT_EQ(env_long("MSP_TEST_KNOB", 7), 7);
+  unsetenv("MSP_TEST_KNOB");
+}
+
+TEST(BenchHarness, TimeBestReturnsPositiveMinimum) {
+  int calls = 0;
+  const double t = time_best(
+      [&] {
+        volatile double sink = 0;
+        for (int i = 0; i < 10000; ++i) sink += i;
+        ++calls;
+      },
+      3);
+  EXPECT_EQ(calls, 3);
+  EXPECT_GT(t, 0.0);
+}
+
+TEST(BenchHarness, CorpusGraphsAreValidSymmetricAdjacency) {
+  for (const auto& entry : corpus()) {
+    const Graph g = entry.make();
+    EXPECT_TRUE(g.check_structure()) << entry.name;
+    EXPECT_EQ(g.nrows, g.ncols) << entry.name;
+    EXPECT_GT(g.nnz(), 0u) << entry.name;
+    EXPECT_EQ(g, transpose(g)) << entry.name << " must be symmetric";
+    for (IT i = 0; i < g.nrows; ++i) {
+      for (IT p = g.rowptr[i]; p < g.rowptr[i + 1]; ++p) {
+        ASSERT_NE(g.colids[p], i) << entry.name << " has a self-loop";
+      }
+    }
+  }
+}
+
+TEST(BenchHarness, CorpusIsDeterministic) {
+  const auto entries = corpus();
+  const Graph a = entries.front().make();
+  const Graph b = entries.front().make();
+  EXPECT_EQ(a, b);
+}
+
+TEST(BenchHarness, CorpusNamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& entry : corpus()) {
+    EXPECT_TRUE(names.insert(entry.name).second) << entry.name;
+  }
+  EXPECT_GE(names.size(), 10u);
+}
+
+TEST(BenchHarness, ProfilePrintersDoNotCrash) {
+  // Smoke: the printers must tolerate a scheme that never ran (inf times).
+  const std::vector<std::string> names = {"A", "B"};
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<std::vector<double>> times = {{0.1, 0.2}, {inf, 0.3}};
+  print_times({"case0", "case1"}, names, times);
+  print_profiles(names, times, 1.5);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace msp::bench

@@ -1,0 +1,184 @@
+// Tests for the graph generators: determinism, statistical sanity of the
+// random models, and the closed-form properties of the structured graphs.
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "gen/rng.hpp"
+#include "gen/structured.hpp"
+#include "matrix/ops.hpp"
+
+namespace msp {
+namespace {
+
+using IT = int;
+using VT = double;
+
+TEST(Rng, DeterministicForSeedAndStream) {
+  Xoshiro256 a(42, 7), b(42, 7), c(42, 8);
+  bool any_differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs) << "distinct streams should diverge";
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  const auto a = erdos_renyi<IT, VT>(256, 8.0, 5);
+  const auto b = erdos_renyi<IT, VT>(256, 8.0, 5);
+  EXPECT_EQ(a, b);
+  const auto c = erdos_renyi<IT, VT>(256, 8.0, 6);
+  EXPECT_NE(a.nnz(), 0u);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(ErdosRenyi, ExpectedDensity) {
+  const IT n = 2048;
+  const double degree = 16.0;
+  const auto a = erdos_renyi<IT, VT>(n, degree, 7);
+  const double actual = static_cast<double>(a.nnz()) / n;
+  // nnz/n concentrates tightly around `degree` (relative sd ~ 1/sqrt(n*d)).
+  EXPECT_NEAR(actual, degree, 0.15 * degree);
+  EXPECT_TRUE(a.check_structure());
+}
+
+TEST(ErdosRenyi, ZeroDegreeIsEmpty) {
+  const auto a = erdos_renyi<IT, VT>(64, 0.0, 1);
+  EXPECT_EQ(a.nnz(), 0u);
+}
+
+TEST(ErdosRenyi, FullDensitySaturates) {
+  const IT n = 32;
+  const auto a = erdos_renyi<IT, VT>(n, static_cast<double>(2 * n), 1);
+  EXPECT_EQ(a.nnz(), static_cast<std::size_t>(n) * n);
+}
+
+TEST(ErdosRenyi, NegativeArgsThrow) {
+  EXPECT_THROW((erdos_renyi<IT, VT>(-1, 2.0, 1)), invalid_argument_error);
+  EXPECT_THROW((erdos_renyi<IT, VT>(4, -2.0, 1)), invalid_argument_error);
+}
+
+TEST(Rmat, EdgeCountAndRange) {
+  const auto coo = rmat_edges<IT, VT>(10, 16.0);
+  EXPECT_EQ(coo.nrows, 1024);
+  EXPECT_EQ(coo.nnz(), 16u * 1024u);
+  for (const auto& t : coo.entries) {
+    EXPECT_GE(t.row, 0);
+    EXPECT_LT(t.row, 1024);
+    EXPECT_GE(t.col, 0);
+    EXPECT_LT(t.col, 1024);
+  }
+}
+
+TEST(Rmat, Deterministic) {
+  const auto a = rmat_edges<IT, VT>(8, 8.0);
+  const auto b = rmat_edges<IT, VT>(8, 8.0);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (std::size_t i = 0; i < a.nnz(); ++i) {
+    EXPECT_EQ(a.entries[i], b.entries[i]);
+  }
+}
+
+TEST(Rmat, SkewedDegreeDistribution) {
+  // With Graph500 parameters the max degree far exceeds the average —
+  // that skew is the reason R-MAT stands in for social/web graphs.
+  const auto g = rmat_graph<IT, VT>(12, 16.0);
+  const auto deg = row_degrees(g);
+  const IT max_deg = *std::max_element(deg.begin(), deg.end());
+  const double avg = static_cast<double>(g.nnz()) / g.nrows;
+  EXPECT_GT(static_cast<double>(max_deg), 5.0 * avg);
+}
+
+TEST(RmatGraph, SymmetricNoSelfLoopsPatternValues) {
+  const auto g = rmat_graph<IT, VT>(8, 8.0);
+  EXPECT_TRUE(g.check_structure());
+  const auto gt = transpose(g);
+  EXPECT_EQ(g, gt);  // symmetric
+  for (IT i = 0; i < g.nrows; ++i) {
+    for (IT p = g.rowptr[i]; p < g.rowptr[i + 1]; ++p) {
+      EXPECT_NE(g.colids[p], i);          // no self-loops
+      EXPECT_DOUBLE_EQ(g.values[p], 1.0);  // pattern values
+    }
+  }
+}
+
+TEST(Rmat, ScaleOutOfRangeThrows) {
+  EXPECT_THROW((rmat_edges<IT, VT>(-1, 8.0)), invalid_argument_error);
+  EXPECT_THROW((rmat_edges<IT, VT>(31, 8.0)), invalid_argument_error);
+}
+
+TEST(Structured, CompleteGraph) {
+  const auto k5 = complete_graph<IT, VT>(5);
+  EXPECT_EQ(k5.nnz(), 20u);  // 5*4 directed edges
+  EXPECT_EQ(k5, transpose(k5));
+}
+
+TEST(Structured, CycleGraph) {
+  const auto c6 = cycle_graph<IT, VT>(6);
+  EXPECT_EQ(c6.nnz(), 12u);
+  const auto deg = row_degrees(c6);
+  for (IT d : deg) EXPECT_EQ(d, 2);
+  // Degenerate small cycles must not produce duplicate or self edges.
+  EXPECT_EQ((cycle_graph<IT, VT>(2).nnz()), 2u);
+  EXPECT_EQ((cycle_graph<IT, VT>(1).nnz()), 0u);
+  EXPECT_EQ((cycle_graph<IT, VT>(0).nnz()), 0u);
+}
+
+TEST(Structured, PathGraph) {
+  const auto p5 = path_graph<IT, VT>(5);
+  EXPECT_EQ(p5.nnz(), 8u);  // 4 undirected edges
+  EXPECT_EQ(p5.row_nnz(0), 1);
+  EXPECT_EQ(p5.row_nnz(2), 2);
+  EXPECT_EQ(p5.row_nnz(4), 1);
+}
+
+TEST(Structured, StarGraph) {
+  const auto s8 = star_graph<IT, VT>(8);
+  EXPECT_EQ(s8.row_nnz(0), 7);
+  for (IT i = 1; i < 8; ++i) EXPECT_EQ(s8.row_nnz(i), 1);
+}
+
+TEST(Structured, GridGraph) {
+  const auto g = grid_graph<IT, VT>(3, 4);
+  EXPECT_EQ(g.nrows, 12);
+  // 3*3 horizontal + 2*4 vertical undirected edges = 17 edges = 34 nnz.
+  EXPECT_EQ(g.nnz(), 34u);
+  EXPECT_EQ(g, transpose(g));
+}
+
+TEST(Structured, PetersenGraphIsCubic) {
+  const auto p = petersen_graph<IT, VT>();
+  EXPECT_EQ(p.nrows, 10);
+  EXPECT_EQ(p.nnz(), 30u);  // 15 undirected edges
+  for (IT i = 0; i < 10; ++i) EXPECT_EQ(p.row_nnz(i), 3);
+  EXPECT_EQ(p, transpose(p));
+}
+
+TEST(Structured, BarbellGraph) {
+  const auto b = barbell_graph<IT, VT>(4);
+  EXPECT_EQ(b.nrows, 8);
+  // Two K4 (12 nnz each) plus one bridge (2 nnz).
+  EXPECT_EQ(b.nnz(), 26u);
+  EXPECT_EQ(b, transpose(b));
+}
+
+}  // namespace
+}  // namespace msp

@@ -1,0 +1,106 @@
+// Structural vs valued mask semantics (GraphBLAS distinction): under
+// structural interpretation every stored mask entry admits its position
+// (the paper's setting); under valued interpretation explicitly stored
+// zeros do not.
+#include <gtest/gtest.h>
+
+#include "core/masked_spgemm.hpp"
+#include "matrix/dense.hpp"
+#include "matrix/ops.hpp"
+#include "test_support.hpp"
+
+namespace msp {
+namespace {
+
+using IT = int;
+using VT = double;
+using SR = PlusTimes<VT>;
+using msp::testing::csr_equal;
+using msp::testing::random_csr;
+
+/// A mask whose even-column entries are explicit zeros.
+CsrMatrix<IT, VT> mask_with_explicit_zeros(IT n, double density,
+                                           std::uint64_t seed) {
+  auto m = random_csr<IT, VT>(n, n, density, seed);
+  for (IT i = 0; i < n; ++i) {
+    for (IT p = m.rowptr[i]; p < m.rowptr[i + 1]; ++p) {
+      if (m.colids[p] % 2 == 0) m.values[p] = 0.0;
+    }
+  }
+  return m;
+}
+
+TEST(MaskSemantics, StructuralIgnoresValues) {
+  const auto a = random_csr<IT, VT>(24, 24, 0.3, 1);
+  const auto m = mask_with_explicit_zeros(24, 0.4, 2);
+  const auto expected = reference_masked_multiply<SR>(a, a, m, false);
+  MaskedSpgemmOptions opt;  // structural by default
+  EXPECT_TRUE(csr_equal(expected, masked_multiply<SR>(a, a, m, opt)));
+}
+
+TEST(MaskSemantics, ValuedDropsExplicitZeroPositions) {
+  const auto a = random_csr<IT, VT>(24, 24, 0.3, 3);
+  const auto m = mask_with_explicit_zeros(24, 0.4, 4);
+  // Reference: valued semantics == structural semantics on the filtered mask.
+  const auto filtered =
+      msp::select(m, [](IT, IT, const VT& v) { return v != 0.0; });
+  const auto expected = reference_masked_multiply<SR>(a, a, filtered, false);
+  MaskedSpgemmOptions opt;
+  opt.mask_semantics = MaskSemantics::kValued;
+  const auto c = masked_multiply<SR>(a, a, m, opt);
+  EXPECT_TRUE(csr_equal(expected, c));
+  // Output must contain no entry at an explicit-zero mask position.
+  const auto dm = to_dense(m);
+  for (IT i = 0; i < c.nrows; ++i) {
+    for (IT p = c.rowptr[i]; p < c.rowptr[i + 1]; ++p) {
+      const std::size_t j = static_cast<std::size_t>(c.colids[p]);
+      EXPECT_TRUE(dm.has(i, j));
+      EXPECT_NE(dm.at(i, j), 0.0);
+    }
+  }
+}
+
+TEST(MaskSemantics, ValuedComplementAdmitsZeroPositions) {
+  // Complemented valued mask: explicit zeros count as "not in the mask",
+  // so their positions ARE admitted.
+  const auto a = random_csr<IT, VT>(20, 20, 0.3, 5);
+  const auto m = mask_with_explicit_zeros(20, 0.4, 6);
+  const auto filtered =
+      msp::select(m, [](IT, IT, const VT& v) { return v != 0.0; });
+  const auto expected = reference_masked_multiply<SR>(a, a, filtered, true);
+  MaskedSpgemmOptions opt;
+  opt.mask_semantics = MaskSemantics::kValued;
+  opt.mask_kind = MaskKind::kComplement;
+  EXPECT_TRUE(csr_equal(expected, masked_multiply<SR>(a, a, m, opt)));
+}
+
+TEST(MaskSemantics, ValuedEqualsStructuralWithoutZeros) {
+  // On a mask with no explicit zeros the two semantics must agree exactly,
+  // for every algorithm.
+  const auto a = random_csr<IT, VT>(24, 24, 0.25, 7);
+  const auto m = random_csr<IT, VT>(24, 24, 0.3, 8);
+  for (MaskedAlgorithm algo :
+       {MaskedAlgorithm::kMsa, MaskedAlgorithm::kHash, MaskedAlgorithm::kMca,
+        MaskedAlgorithm::kHeap, MaskedAlgorithm::kInner,
+        MaskedAlgorithm::kAdaptive}) {
+    MaskedSpgemmOptions structural;
+    structural.algorithm = algo;
+    MaskedSpgemmOptions valued = structural;
+    valued.mask_semantics = MaskSemantics::kValued;
+    EXPECT_TRUE(csr_equal(masked_multiply<SR>(a, a, m, structural),
+                          masked_multiply<SR>(a, a, m, valued)))
+        << algorithm_name(algo);
+  }
+}
+
+TEST(MaskSemantics, AllZeroValuedMaskYieldsEmpty) {
+  const auto a = random_csr<IT, VT>(10, 10, 0.5, 9);
+  auto m = random_csr<IT, VT>(10, 10, 0.5, 10);
+  std::fill(m.values.begin(), m.values.end(), 0.0);
+  MaskedSpgemmOptions opt;
+  opt.mask_semantics = MaskSemantics::kValued;
+  EXPECT_EQ(masked_multiply<SR>(a, a, m, opt).nnz(), 0u);
+}
+
+}  // namespace
+}  // namespace msp

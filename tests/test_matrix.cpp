@@ -1,0 +1,221 @@
+// Unit tests for the sparse-matrix substrate: COO/CSR/CSC containers,
+// conversions, transpose, and structural validation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "matrix/convert.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+
+namespace msp {
+namespace {
+
+using IT = int;
+using VT = double;
+
+CooMatrix<IT, VT> sample_coo() {
+  // 4x5 matrix:
+  //   [ 1 .  2 . . ]
+  //   [ . .  . . . ]
+  //   [ 3 .  . 4 . ]
+  //   [ . 5  . . 6 ]
+  CooMatrix<IT, VT> coo(4, 5);
+  coo.push(2, 3, 4.0);
+  coo.push(0, 0, 1.0);
+  coo.push(3, 4, 6.0);
+  coo.push(0, 2, 2.0);
+  coo.push(2, 0, 3.0);
+  coo.push(3, 1, 5.0);
+  return coo;
+}
+
+TEST(CooMatrix, PushAndSize) {
+  CooMatrix<IT, VT> coo(3, 3);
+  EXPECT_EQ(coo.nnz(), 0u);
+  coo.push(0, 0, 1.0);
+  coo.push(2, 1, 2.0);
+  EXPECT_EQ(coo.nnz(), 2u);
+}
+
+TEST(CooMatrix, NegativeDimensionThrows) {
+  EXPECT_THROW((CooMatrix<IT, VT>(-1, 3)), invalid_argument_error);
+  EXPECT_THROW((CooMatrix<IT, VT>(3, -1)), invalid_argument_error);
+}
+
+TEST(CooMatrix, SortAndCombineMergesDuplicates) {
+  CooMatrix<IT, VT> coo(2, 2);
+  coo.push(1, 1, 1.0);
+  coo.push(0, 0, 2.0);
+  coo.push(1, 1, 3.0);
+  coo.push(0, 0, 0.5);
+  coo.sort_and_combine();
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_TRUE(coo.is_canonical());
+  EXPECT_DOUBLE_EQ(coo.entries[0].val, 2.5);
+  EXPECT_DOUBLE_EQ(coo.entries[1].val, 4.0);
+}
+
+TEST(CooMatrix, SortAndCombineCustomCombiner) {
+  CooMatrix<IT, VT> coo(2, 2);
+  coo.push(0, 1, 7.0);
+  coo.push(0, 1, 9.0);
+  coo.sort_and_combine([](VT a, VT) { return a; });
+  ASSERT_EQ(coo.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(coo.entries[0].val, 7.0);
+}
+
+TEST(CooMatrix, IsCanonicalDetectsUnsorted) {
+  CooMatrix<IT, VT> coo(3, 3);
+  coo.push(1, 0, 1.0);
+  coo.push(0, 0, 1.0);
+  EXPECT_FALSE(coo.is_canonical());
+  coo.sort_and_combine();
+  EXPECT_TRUE(coo.is_canonical());
+}
+
+TEST(CsrMatrix, EmptyShape) {
+  CsrMatrix<IT, VT> a(3, 4);
+  EXPECT_EQ(a.nrows, 3);
+  EXPECT_EQ(a.ncols, 4);
+  EXPECT_EQ(a.nnz(), 0u);
+  EXPECT_TRUE(a.check_structure());
+  for (IT i = 0; i < 3; ++i) EXPECT_EQ(a.row_nnz(i), 0);
+}
+
+TEST(CsrMatrix, ZeroByZero) {
+  CsrMatrix<IT, VT> a(0, 0);
+  EXPECT_TRUE(a.check_structure());
+  EXPECT_EQ(a.nnz(), 0u);
+}
+
+TEST(CsrMatrix, NegativeDimensionThrows) {
+  EXPECT_THROW((CsrMatrix<IT, VT>(-2, 1)), invalid_argument_error);
+}
+
+TEST(CooToCsr, BasicConversion) {
+  const CsrMatrix<IT, VT> a = coo_to_csr(sample_coo());
+  EXPECT_TRUE(a.check_structure());
+  EXPECT_EQ(a.nrows, 4);
+  EXPECT_EQ(a.ncols, 5);
+  ASSERT_EQ(a.nnz(), 6u);
+  EXPECT_EQ(a.rowptr, (std::vector<IT>{0, 2, 2, 4, 6}));
+  EXPECT_EQ(a.colids, (std::vector<IT>{0, 2, 0, 3, 1, 4}));
+  EXPECT_EQ(a.values, (std::vector<VT>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(CooToCsr, DuplicatesAreAdded) {
+  CooMatrix<IT, VT> coo(2, 2);
+  coo.push(0, 1, 1.0);
+  coo.push(0, 1, 2.0);
+  const CsrMatrix<IT, VT> a = coo_to_csr(std::move(coo));
+  ASSERT_EQ(a.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(a.values[0], 3.0);
+}
+
+TEST(CooToCsc, BasicConversion) {
+  const CscMatrix<IT, VT> a = coo_to_csc(sample_coo());
+  EXPECT_TRUE(a.check_structure());
+  EXPECT_EQ(a.colptr, (std::vector<IT>{0, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(a.rowids, (std::vector<IT>{0, 2, 3, 0, 2, 3}));
+  EXPECT_EQ(a.values, (std::vector<VT>{1, 3, 5, 2, 4, 6}));
+}
+
+TEST(CsrToCsc, RoundTripThroughCsc) {
+  const CsrMatrix<IT, VT> a = coo_to_csr(sample_coo());
+  const CscMatrix<IT, VT> c = csr_to_csc(a);
+  EXPECT_TRUE(c.check_structure());
+  const CsrMatrix<IT, VT> back = csc_to_csr(c);
+  EXPECT_EQ(a, back);
+}
+
+TEST(CsrToCoo, RoundTrip) {
+  const CsrMatrix<IT, VT> a = coo_to_csr(sample_coo());
+  CooMatrix<IT, VT> coo = csr_to_coo(a);
+  EXPECT_TRUE(coo.is_canonical());
+  const CsrMatrix<IT, VT> back = coo_to_csr(std::move(coo));
+  EXPECT_EQ(a, back);
+}
+
+TEST(Transpose, ContentIsTransposed) {
+  const CsrMatrix<IT, VT> a = coo_to_csr(sample_coo());
+  const CsrMatrix<IT, VT> t = transpose(a);
+  EXPECT_TRUE(t.check_structure());
+  EXPECT_EQ(t.nrows, a.ncols);
+  EXPECT_EQ(t.ncols, a.nrows);
+  EXPECT_EQ(t.nnz(), a.nnz());
+  // Every (i,j,v) of A appears as (j,i,v) in T.
+  for (IT i = 0; i < a.nrows; ++i) {
+    for (IT p = a.rowptr[i]; p < a.rowptr[i + 1]; ++p) {
+      const IT j = a.colids[p];
+      bool found = false;
+      for (IT q = t.rowptr[j]; q < t.rowptr[j + 1]; ++q) {
+        if (t.colids[q] == i) {
+          EXPECT_DOUBLE_EQ(t.values[q], a.values[p]);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << "missing transposed entry (" << j << "," << i << ")";
+    }
+  }
+}
+
+TEST(Transpose, DoubleTransposeIsIdentity) {
+  const CsrMatrix<IT, VT> a = coo_to_csr(sample_coo());
+  EXPECT_EQ(transpose(transpose(a)), a);
+}
+
+TEST(Transpose, EmptyMatrix) {
+  const CsrMatrix<IT, VT> a(3, 7);
+  const CsrMatrix<IT, VT> t = transpose(a);
+  EXPECT_EQ(t.nrows, 7);
+  EXPECT_EQ(t.ncols, 3);
+  EXPECT_EQ(t.nnz(), 0u);
+}
+
+TEST(CheckStructure, RejectsUnsortedColumns) {
+  CsrMatrix<IT, VT> a(1, 4);
+  a.rowptr = {0, 2};
+  a.colids = {2, 1};  // unsorted
+  a.values = {1.0, 2.0};
+  EXPECT_FALSE(a.check_structure());
+}
+
+TEST(CheckStructure, RejectsOutOfRangeColumn) {
+  CsrMatrix<IT, VT> a(1, 2);
+  a.rowptr = {0, 1};
+  a.colids = {5};
+  a.values = {1.0};
+  EXPECT_FALSE(a.check_structure());
+}
+
+TEST(CheckStructure, RejectsNonMonotoneRowptr) {
+  CsrMatrix<IT, VT> a(2, 2);
+  a.rowptr = {0, 1, 0};
+  a.colids = {};
+  a.values = {};
+  EXPECT_FALSE(a.check_structure());
+}
+
+TEST(RowAccessors, SpansMatchArrays) {
+  const CsrMatrix<IT, VT> a = coo_to_csr(sample_coo());
+  const auto cols = a.row_cols(2);
+  const auto vals = a.row_vals(2);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 3);
+  EXPECT_DOUBLE_EQ(vals[0], 3.0);
+  EXPECT_DOUBLE_EQ(vals[1], 4.0);
+}
+
+TEST(CscAccessors, SpansMatchArrays) {
+  const CscMatrix<IT, VT> a = coo_to_csc(sample_coo());
+  const auto rows = a.col_rows(0);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], 0);
+  EXPECT_EQ(rows[1], 2);
+}
+
+}  // namespace
+}  // namespace msp

@@ -1,0 +1,171 @@
+// Matrix Market I/O: round trips, symmetric expansion, pattern files, and
+// failure injection on malformed inputs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "matrix/mmio.hpp"
+#include "test_support.hpp"
+
+namespace msp {
+namespace {
+
+using IT = int;
+using VT = double;
+using msp::testing::csr_equal;
+using msp::testing::random_csr;
+
+TEST(Mmio, WriteReadRoundTrip) {
+  const auto a = random_csr<IT, VT>(10, 14, 0.25, 1);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const auto back = coo_to_csr(read_matrix_market<IT, VT>(ss));
+  EXPECT_TRUE(csr_equal(a, back));
+}
+
+TEST(Mmio, EmptyMatrixRoundTrip) {
+  const CsrMatrix<IT, VT> a(3, 5);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const auto back = coo_to_csr(read_matrix_market<IT, VT>(ss));
+  EXPECT_TRUE(csr_equal(a, back));
+}
+
+TEST(Mmio, ReadsGeneralRealCoordinate) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment line\n"
+      "3 3 2\n"
+      "1 2 1.5\n"
+      "3 1 -2.0\n");
+  const auto a = coo_to_csr(read_matrix_market<IT, VT>(ss));
+  EXPECT_EQ(a.nrows, 3);
+  EXPECT_EQ(a.ncols, 3);
+  ASSERT_EQ(a.nnz(), 2u);
+  EXPECT_EQ(a.colids[0], 1);  // (0,1) = 1.5
+  EXPECT_DOUBLE_EQ(a.values[0], 1.5);
+  EXPECT_EQ(a.colids[1], 0);  // (2,0) = -2
+  EXPECT_DOUBLE_EQ(a.values[1], -2.0);
+}
+
+TEST(Mmio, PatternFieldGetsUnitValues) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  const auto a = coo_to_csr(read_matrix_market<IT, VT>(ss));
+  ASSERT_EQ(a.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(a.values[0], 1.0);
+  EXPECT_DOUBLE_EQ(a.values[1], 1.0);
+}
+
+TEST(Mmio, SymmetricExpansion) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 5.0\n"
+      "2 1 1.0\n"
+      "3 2 2.0\n");
+  const auto a = coo_to_csr(read_matrix_market<IT, VT>(ss));
+  // Diagonal entry stays single; off-diagonals are mirrored.
+  EXPECT_EQ(a.nnz(), 5u);
+  const auto t = transpose(a);
+  EXPECT_EQ(a, t);
+}
+
+TEST(Mmio, SkewSymmetricExpansionNegates) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  const auto a = coo_to_csr(read_matrix_market<IT, VT>(ss));
+  ASSERT_EQ(a.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(a.values[0], -3.0);  // (0,1) mirrored with negation
+  EXPECT_DOUBLE_EQ(a.values[1], 3.0);   // (1,0) as stored
+}
+
+TEST(Mmio, IntegerFieldAccepted) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "1 2 7\n");
+  const auto a = coo_to_csr(read_matrix_market<IT, VT>(ss));
+  ASSERT_EQ(a.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(a.values[0], 7.0);
+}
+
+// ---- failure injection ------------------------------------------------
+
+TEST(MmioErrors, MissingBanner) {
+  std::stringstream ss("not a matrix market file\n1 1 0\n");
+  EXPECT_THROW((read_matrix_market<IT, VT>(ss)), io_error);
+}
+
+TEST(MmioErrors, EmptyStream) {
+  std::stringstream ss("");
+  EXPECT_THROW((read_matrix_market<IT, VT>(ss)), io_error);
+}
+
+TEST(MmioErrors, UnsupportedFormat) {
+  std::stringstream ss("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+  EXPECT_THROW((read_matrix_market<IT, VT>(ss)), io_error);
+}
+
+TEST(MmioErrors, UnsupportedField) {
+  std::stringstream ss("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n");
+  EXPECT_THROW((read_matrix_market<IT, VT>(ss)), io_error);
+}
+
+TEST(MmioErrors, UnsupportedSymmetry) {
+  std::stringstream ss("%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n");
+  EXPECT_THROW((read_matrix_market<IT, VT>(ss)), io_error);
+}
+
+TEST(MmioErrors, TruncatedEntries) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW((read_matrix_market<IT, VT>(ss)), io_error);
+}
+
+TEST(MmioErrors, OutOfBoundsEntry) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW((read_matrix_market<IT, VT>(ss)), io_error);
+}
+
+TEST(MmioErrors, ZeroBasedIndexRejected) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "0 1 1.0\n");
+  EXPECT_THROW((read_matrix_market<IT, VT>(ss)), io_error);
+}
+
+TEST(MmioErrors, MissingValueRejected) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1\n");
+  EXPECT_THROW((read_matrix_market<IT, VT>(ss)), io_error);
+}
+
+TEST(MmioErrors, NonexistentFileThrows) {
+  EXPECT_THROW((read_matrix_market_csr<IT, VT>("/nonexistent/path.mtx")),
+               io_error);
+}
+
+TEST(MmioFile, FileRoundTrip) {
+  const auto a = random_csr<IT, VT>(6, 6, 0.4, 9);
+  const std::string path = ::testing::TempDir() + "/msp_mmio_test.mtx";
+  write_matrix_market_file(path, a);
+  const auto back = read_matrix_market_csr<IT, VT>(path);
+  EXPECT_TRUE(csr_equal(a, back));
+}
+
+}  // namespace
+}  // namespace msp

@@ -1,0 +1,209 @@
+// Unit tests for the GraphBLAS-style operations in matrix/ops.hpp.
+#include <gtest/gtest.h>
+
+#include "matrix/dense.hpp"
+#include "matrix/ops.hpp"
+#include "test_support.hpp"
+
+namespace msp {
+namespace {
+
+using IT = int;
+using VT = double;
+using msp::testing::csr_equal;
+using msp::testing::random_csr;
+
+TEST(EwiseMult, PatternIsIntersection) {
+  const auto a = random_csr<IT, VT>(20, 20, 0.3, 1);
+  const auto b = random_csr<IT, VT>(20, 20, 0.3, 2);
+  const auto c = ewise_mult(a, b);
+  const auto da = to_dense(a);
+  const auto db = to_dense(b);
+  const auto dc = to_dense(c);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 20; ++j) {
+      EXPECT_EQ(dc.has(i, j), da.has(i, j) && db.has(i, j));
+      if (dc.has(i, j)) {
+        EXPECT_DOUBLE_EQ(dc.at(i, j), da.at(i, j) * db.at(i, j));
+      }
+    }
+  }
+}
+
+TEST(EwiseMult, CustomCombiner) {
+  const auto a = random_csr<IT, VT>(10, 10, 0.4, 3);
+  const auto c = ewise_mult(a, a, [](VT x, VT) { return x; });
+  EXPECT_TRUE(csr_equal(a, c));
+}
+
+TEST(EwiseMult, DimensionMismatchThrows) {
+  const auto a = random_csr<IT, VT>(4, 4, 0.5, 1);
+  const auto b = random_csr<IT, VT>(4, 5, 0.5, 2);
+  EXPECT_THROW(ewise_mult(a, b), invalid_argument_error);
+}
+
+TEST(EwiseAdd, PatternIsUnion) {
+  const auto a = random_csr<IT, VT>(20, 20, 0.2, 4);
+  const auto b = random_csr<IT, VT>(20, 20, 0.2, 5);
+  const auto c = ewise_add(a, b);
+  const auto da = to_dense(a);
+  const auto db = to_dense(b);
+  const auto dc = to_dense(c);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 20; ++j) {
+      EXPECT_EQ(dc.has(i, j), da.has(i, j) || db.has(i, j));
+      if (dc.has(i, j)) {
+        const VT expected = (da.has(i, j) ? da.at(i, j) : 0.0) +
+                            (db.has(i, j) ? db.at(i, j) : 0.0);
+        EXPECT_DOUBLE_EQ(dc.at(i, j), expected);
+      }
+    }
+  }
+}
+
+TEST(EwiseAdd, WithEmptyIsIdentity) {
+  const auto a = random_csr<IT, VT>(8, 12, 0.3, 6);
+  const CsrMatrix<IT, VT> empty(8, 12);
+  EXPECT_TRUE(csr_equal(a, ewise_add(a, empty)));
+  EXPECT_TRUE(csr_equal(a, ewise_add(empty, a)));
+}
+
+TEST(Apply, ScalesValuesKeepsPattern) {
+  const auto a = random_csr<IT, VT>(10, 10, 0.3, 7);
+  const auto b = apply(a, [](VT v) { return 2 * v; });
+  ASSERT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(a.colids, b.colids);
+  for (std::size_t p = 0; p < a.nnz(); ++p) {
+    EXPECT_DOUBLE_EQ(b.values[p], 2 * a.values[p]);
+  }
+}
+
+TEST(Select, ThresholdKeepsMatchingEntries) {
+  const auto a = random_csr<IT, VT>(15, 15, 0.4, 8);
+  const auto big = select(a, [](IT, IT, const VT& v) { return v >= 5.0; });
+  EXPECT_TRUE(big.check_structure());
+  for (std::size_t p = 0; p < big.nnz(); ++p) EXPECT_GE(big.values[p], 5.0);
+  const auto small = select(a, [](IT, IT, const VT& v) { return v < 5.0; });
+  EXPECT_EQ(big.nnz() + small.nnz(), a.nnz());
+}
+
+TEST(TrilTriu, PartitionOffDiagonal) {
+  const auto a = random_csr<IT, VT>(12, 12, 0.5, 9);
+  const auto lower = tril(a);
+  const auto upper = triu(a);
+  const auto diagonal =
+      select(a, [](IT i, IT j, const VT&) { return i == j; });
+  EXPECT_EQ(lower.nnz() + upper.nnz() + diagonal.nnz(), a.nnz());
+  for (IT i = 0; i < 12; ++i) {
+    for (IT p = lower.rowptr[i]; p < lower.rowptr[i + 1]; ++p) {
+      EXPECT_LT(lower.colids[p], i);
+    }
+    for (IT p = upper.rowptr[i]; p < upper.rowptr[i + 1]; ++p) {
+      EXPECT_GT(upper.colids[p], i);
+    }
+  }
+}
+
+TEST(RemoveDiagonal, DropsOnlyDiagonal) {
+  const auto a = random_csr<IT, VT>(12, 12, 0.5, 10);
+  const auto nd = remove_diagonal(a);
+  const auto diagonal =
+      select(a, [](IT i, IT j, const VT&) { return i == j; });
+  EXPECT_EQ(nd.nnz() + diagonal.nnz(), a.nnz());
+  for (IT i = 0; i < 12; ++i) {
+    for (IT p = nd.rowptr[i]; p < nd.rowptr[i + 1]; ++p) {
+      EXPECT_NE(nd.colids[p], i);
+    }
+  }
+}
+
+TEST(ReduceSum, MatchesSerialSum) {
+  const auto a = random_csr<IT, VT>(50, 50, 0.2, 11);
+  VT expected = 0;
+  for (VT v : a.values) expected += v;
+  EXPECT_DOUBLE_EQ(reduce_sum(a), expected);
+}
+
+TEST(ReduceSum, EmptyIsZero) {
+  const CsrMatrix<IT, VT> a(5, 5);
+  EXPECT_DOUBLE_EQ(reduce_sum(a), 0.0);
+}
+
+TEST(ToPattern, AllValuesBecomeOne) {
+  const auto a = random_csr<IT, VT>(10, 10, 0.4, 12);
+  const auto p = to_pattern(a);
+  EXPECT_EQ(p.colids, a.colids);
+  for (VT v : p.values) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Symmetrize, ResultHasSymmetricPattern) {
+  const auto a = random_csr<IT, VT>(20, 20, 0.15, 13);
+  const auto s = symmetrize(a);
+  const auto d = to_dense(s);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 20; ++j) {
+      EXPECT_EQ(d.has(i, j), d.has(j, i));
+    }
+  }
+}
+
+TEST(Symmetrize, RectangularThrows) {
+  const auto a = random_csr<IT, VT>(4, 5, 0.5, 14);
+  EXPECT_THROW(symmetrize(a), invalid_argument_error);
+}
+
+TEST(RowDegrees, MatchRowNnz) {
+  const auto a = random_csr<IT, VT>(30, 30, 0.2, 15);
+  const auto deg = row_degrees(a);
+  for (IT i = 0; i < 30; ++i) EXPECT_EQ(deg[i], a.row_nnz(i));
+}
+
+TEST(PermuteSymmetric, IdentityPermutation) {
+  const auto a = random_csr<IT, VT>(10, 10, 0.3, 16);
+  std::vector<IT> perm(10);
+  std::iota(perm.begin(), perm.end(), 0);
+  EXPECT_TRUE(csr_equal(a, permute_symmetric(a, perm)));
+}
+
+TEST(PermuteSymmetric, ReversalPreservesEntries) {
+  const auto a = random_csr<IT, VT>(10, 10, 0.3, 17);
+  std::vector<IT> perm(10);
+  for (IT i = 0; i < 10; ++i) perm[i] = 9 - i;
+  const auto p = permute_symmetric(a, perm);
+  EXPECT_EQ(p.nnz(), a.nnz());
+  const auto da = to_dense(a);
+  const auto dp = to_dense(p);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      EXPECT_EQ(dp.has(i, j), da.has(9 - i, 9 - j));
+      if (dp.has(i, j)) EXPECT_DOUBLE_EQ(dp.at(i, j), da.at(9 - i, 9 - j));
+    }
+  }
+}
+
+TEST(PermuteSymmetric, InvalidPermutationThrows) {
+  const auto a = random_csr<IT, VT>(4, 4, 0.5, 18);
+  EXPECT_THROW(permute_symmetric(a, {0, 1, 2}), invalid_argument_error);
+  EXPECT_THROW(permute_symmetric(a, {0, 1, 2, 2}), invalid_argument_error);
+  EXPECT_THROW(permute_symmetric(a, {0, 1, 2, 9}), invalid_argument_error);
+}
+
+TEST(DegreeOrder, NonIncreasingDegrees) {
+  const auto a = random_csr<IT, VT>(40, 40, 0.2, 19);
+  const auto perm = degree_order(a);
+  const auto deg = row_degrees(a);
+  for (std::size_t i = 1; i < perm.size(); ++i) {
+    EXPECT_GE(deg[perm[i - 1]], deg[perm[i]]);
+  }
+}
+
+TEST(DegreeOrder, RelabeledGraphHasNonIncreasingRowNnz) {
+  const auto a = symmetrize(random_csr<IT, VT>(40, 40, 0.1, 20));
+  const auto p = permute_symmetric(a, degree_order(a));
+  for (IT i = 1; i < p.nrows; ++i) {
+    EXPECT_GE(p.row_nnz(i - 1), p.row_nnz(i));
+  }
+}
+
+}  // namespace
+}  // namespace msp

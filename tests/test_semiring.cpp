@@ -1,0 +1,83 @@
+// Semiring axioms and behaviour of each provided semiring.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "semiring/semiring.hpp"
+
+namespace msp {
+namespace {
+
+template <class SR>
+void check_additive_identity(typename SR::value_type sample) {
+  EXPECT_EQ(SR::add(SR::add_identity(), sample), sample);
+  EXPECT_EQ(SR::add(sample, SR::add_identity()), sample);
+}
+
+TEST(PlusTimes, Axioms) {
+  using SR = PlusTimes<double>;
+  check_additive_identity<SR>(3.5);
+  EXPECT_DOUBLE_EQ(SR::add(2.0, 3.0), 5.0);
+  EXPECT_DOUBLE_EQ(SR::multiply(2.0, 3.0), 6.0);
+  // Distributivity spot check.
+  EXPECT_DOUBLE_EQ(SR::multiply(2.0, SR::add(3.0, 4.0)),
+                   SR::add(SR::multiply(2.0, 3.0), SR::multiply(2.0, 4.0)));
+}
+
+TEST(OrAnd, Axioms) {
+  using SR = OrAnd<bool>;
+  check_additive_identity<SR>(true);
+  EXPECT_TRUE(SR::add(true, false));
+  EXPECT_FALSE(SR::add(false, false));
+  EXPECT_TRUE(SR::multiply(true, true));
+  EXPECT_FALSE(SR::multiply(true, false));
+}
+
+TEST(MinPlus, Axioms) {
+  using SR = MinPlus<int>;
+  check_additive_identity<SR>(7);
+  EXPECT_EQ(SR::add(3, 5), 3);
+  EXPECT_EQ(SR::multiply(3, 5), 8);
+}
+
+TEST(MinPlus, IdentityIsAbsorbingForMultiply) {
+  using SR = MinPlus<int>;
+  const int inf = SR::add_identity();
+  EXPECT_EQ(SR::multiply(inf, 5), inf);
+  EXPECT_EQ(SR::multiply(5, inf), inf);
+  EXPECT_EQ(SR::multiply(inf, inf), inf);
+}
+
+TEST(PlusFirst, MultiplyReturnsLeft) {
+  using SR = PlusFirst<double>;
+  check_additive_identity<SR>(2.0);
+  EXPECT_DOUBLE_EQ(SR::multiply(2.0, 9.0), 2.0);
+}
+
+TEST(PlusSecond, MultiplyReturnsRight) {
+  using SR = PlusSecond<double>;
+  check_additive_identity<SR>(2.0);
+  EXPECT_DOUBLE_EQ(SR::multiply(2.0, 9.0), 9.0);
+}
+
+TEST(PlusPair, MultiplyCountsPairs) {
+  using SR = PlusPair<long>;
+  check_additive_identity<SR>(4L);
+  EXPECT_EQ(SR::multiply(123L, 456L), 1L);
+  // A dot product of k overlapping pairs yields k.
+  long acc = SR::add_identity();
+  for (int i = 0; i < 5; ++i) acc = SR::add(acc, SR::multiply(7L, 8L));
+  EXPECT_EQ(acc, 5L);
+}
+
+TEST(SemiringConcept, AcceptsAllProvided) {
+  static_assert(Semiring<PlusTimes<float>>);
+  static_assert(Semiring<PlusTimes<long>>);
+  static_assert(Semiring<OrAnd<char>>);
+  static_assert(Semiring<MinPlus<double>>);
+  static_assert(Semiring<PlusPair<int>>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace msp

@@ -1,0 +1,95 @@
+// Plain (unmasked) SpGEMM against the dense reference, plus the flop
+// counters it shares with the benchmark harness.
+#include <gtest/gtest.h>
+
+#include "core/flops.hpp"
+#include "core/spgemm.hpp"
+#include "matrix/dense.hpp"
+#include "semiring/semiring.hpp"
+#include "test_support.hpp"
+
+namespace msp {
+namespace {
+
+using IT = int;
+using VT = double;
+using SR = PlusTimes<VT>;
+using msp::testing::csr_equal;
+using msp::testing::random_csr;
+
+class PlainSpgemm
+    : public ::testing::TestWithParam<std::tuple<IT, IT, IT, double, int>> {};
+
+TEST_P(PlainSpgemm, MatchesDenseReference) {
+  const auto [m, k, n, density, seed] = GetParam();
+  const auto a = random_csr<IT, VT>(m, k, density, seed);
+  const auto b = random_csr<IT, VT>(k, n, density, seed + 100);
+  const auto expected = reference_multiply<SR>(a, b);
+  const auto actual = multiply<SR>(a, b);
+  EXPECT_TRUE(csr_equal(expected, actual));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PlainSpgemm,
+    ::testing::Combine(::testing::Values(1, 13, 32), ::testing::Values(1, 17, 32),
+                       ::testing::Values(1, 11, 32),
+                       ::testing::Values(0.05, 0.3, 0.8),
+                       ::testing::Values(1, 2)));
+
+TEST(PlainSpgemmEdge, DimensionMismatchThrows) {
+  const auto a = random_csr<IT, VT>(4, 5, 0.5, 1);
+  const auto b = random_csr<IT, VT>(6, 4, 0.5, 2);
+  EXPECT_THROW(multiply<SR>(a, b), invalid_argument_error);
+}
+
+TEST(PlainSpgemmEdge, EmptyOperands) {
+  const CsrMatrix<IT, VT> a(0, 0);
+  const auto c = multiply<SR>(a, a);
+  EXPECT_EQ(c.nnz(), 0u);
+  const CsrMatrix<IT, VT> a2(3, 4);
+  const CsrMatrix<IT, VT> b2(4, 2);
+  const auto c2 = multiply<SR>(a2, b2);
+  EXPECT_EQ(c2.nrows, 3);
+  EXPECT_EQ(c2.ncols, 2);
+  EXPECT_EQ(c2.nnz(), 0u);
+}
+
+TEST(PlainSpgemmEdge, IdentityTimesA) {
+  const auto a = random_csr<IT, VT>(16, 16, 0.3, 3);
+  CooMatrix<IT, VT> icoo(16, 16);
+  for (IT i = 0; i < 16; ++i) icoo.push(i, i, 1.0);
+  const auto id = coo_to_csr(std::move(icoo));
+  EXPECT_TRUE(csr_equal(a, multiply<SR>(id, a)));
+  EXPECT_TRUE(csr_equal(a, multiply<SR>(a, id)));
+}
+
+TEST(PlainSpgemmEdge, MinPlusSemiring) {
+  const auto a = random_csr<IT, VT>(12, 12, 0.3, 4);
+  const auto expected = reference_multiply<MinPlus<VT>>(a, a);
+  EXPECT_TRUE(csr_equal(expected, multiply<MinPlus<VT>>(a, a)));
+}
+
+TEST(Flops, MatchesBruteForceCount) {
+  const auto a = random_csr<IT, VT>(20, 25, 0.2, 5);
+  const auto b = random_csr<IT, VT>(25, 15, 0.2, 6);
+  std::int64_t expected = 0;
+  for (IT i = 0; i < a.nrows; ++i) {
+    for (IT p = a.rowptr[i]; p < a.rowptr[i + 1]; ++p) {
+      expected += b.row_nnz(a.colids[p]);
+    }
+  }
+  EXPECT_EQ(total_flops(a, b), expected);
+  EXPECT_EQ(total_flops_2x(a, b), 2 * expected);
+  const auto per_row = row_flops(a, b);
+  std::int64_t sum = 0;
+  for (auto f : per_row) sum += f;
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(Flops, MismatchThrows) {
+  const auto a = random_csr<IT, VT>(4, 5, 0.5, 7);
+  EXPECT_THROW(row_flops(a, a), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace msp
