@@ -5,6 +5,10 @@
 // managed timings.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <map>
+#include <tuple>
+
 #include "core/masked_spgemm.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "semiring/semiring.hpp"

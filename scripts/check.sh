@@ -1,0 +1,5 @@
+#!/usr/bin/env sh
+# One-liner local verify: exactly the tier-1 command from ROADMAP.md.
+set -eu
+cd "$(dirname "$0")/.."
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j

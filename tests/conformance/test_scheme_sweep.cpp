@@ -1,0 +1,109 @@
+// Cross-kernel conformance sweep (ISSUE 1 tentpole): every Scheme variant
+// (all accumulators: MSA-1P/2P, MCA, hash, heap, heap-dot, inner, plus the
+// SS-style baselines) x {regular, complemented mask} x {structural, valued
+// semantics} x {int, int64_t indices}, over the generated corpus (empty,
+// dense, diagonal, rectangular, Erdos-Renyi, RMAT), all pinned bit-exact to
+// the core/baseline.hpp reference.
+//
+// Two GoogleTest axes:
+//  * a value-parameterized suite (TEST_P) enumerates the execution configs
+//    by name, so a failing kernel variant is identifiable from the test id;
+//  * a typed suite (TYPED_TEST) re-runs the full cross product per index
+//    type, proving the templates agree across IT = int and int64_t.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "conformance_support.hpp"
+#include "test_support.hpp"
+
+namespace msp {
+namespace {
+
+using msp::conformance::Config;
+using msp::conformance::all_configs;
+using msp::conformance::corpus;
+using msp::conformance::expected_result;
+using msp::conformance::run_config;
+using msp::testing::csr_equal;
+
+// ---------------------------------------------------------------------------
+// Anchor: the pinned baseline itself must agree with the dense oracle, so a
+// bug in baseline_saxpy cannot silently validate matching kernel bugs.
+// ---------------------------------------------------------------------------
+
+TEST(ConformanceAnchor, BaselineMatchesDenseOracle) {
+  using SR = PlusTimes<double>;
+  for (const auto& c : corpus<int>()) {
+    for (MaskKind kind : {MaskKind::kMask, MaskKind::kComplement}) {
+      const bool complemented = kind == MaskKind::kComplement;
+      const auto oracle =
+          reference_masked_multiply<SR>(c.a, c.b, c.m, complemented);
+      EXPECT_TRUE(csr_equal(oracle, baseline_saxpy<SR>(c.a, c.b, c.m, kind)))
+          << c.name << (complemented ? " (complement)" : "");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Value-parameterized sweep: one test per execution configuration.
+// ---------------------------------------------------------------------------
+
+class SchemeConformance : public ::testing::TestWithParam<Config> {};
+
+TEST_P(SchemeConformance, MatchesBaselineOnFullCorpus) {
+  using SR = PlusTimes<double>;
+  const Config cfg = GetParam();
+  for (const auto& c : corpus<int>()) {
+    const auto expected =
+        expected_result<SR>(c.a, c.b, c.m, cfg.kind, cfg.semantics);
+    const auto actual = run_config<SR>(cfg, c.a, c.b, c.m);
+    EXPECT_TRUE(csr_equal(expected, actual)) << cfg.name() << " on " << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, SchemeConformance, ::testing::ValuesIn(all_configs()),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return info.param.name();
+    });
+
+// ---------------------------------------------------------------------------
+// Typed sweep: the identical cross product per index type.
+// ---------------------------------------------------------------------------
+
+template <class IT>
+class IndexTypeConformance : public ::testing::Test {};
+
+using IndexTypes = ::testing::Types<int, std::int64_t>;
+TYPED_TEST_SUITE(IndexTypeConformance, IndexTypes);
+
+TYPED_TEST(IndexTypeConformance, AllConfigsMatchBaseline) {
+  using IT = TypeParam;
+  using SR = PlusTimes<double>;
+  const auto cases = corpus<IT>();
+  for (const Config& cfg : all_configs()) {
+    for (const auto& c : cases) {
+      const auto expected =
+          expected_result<SR>(c.a, c.b, c.m, cfg.kind, cfg.semantics);
+      const auto actual = run_config<SR>(cfg, c.a, c.b, c.m);
+      EXPECT_TRUE(csr_equal(expected, actual))
+          << cfg.name() << " on " << c.name;
+    }
+  }
+}
+
+// The MCA accumulator must keep rejecting complemented masks (the sweep
+// above skips the combination; this pins the contract).
+TYPED_TEST(IndexTypeConformance, McaRejectsComplement) {
+  using IT = TypeParam;
+  using SR = PlusTimes<double>;
+  const auto a = msp::testing::random_csr<IT, double>(8, 8, 0.4, 71);
+  MaskedSpgemmOptions opt;
+  opt.algorithm = MaskedAlgorithm::kMca;
+  opt.mask_kind = MaskKind::kComplement;
+  EXPECT_THROW((masked_multiply<SR>(a, a, a, opt)), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace msp

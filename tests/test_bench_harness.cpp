@@ -24,7 +24,7 @@ TEST(BenchHarness, TimeBestReturnsPositiveMinimum) {
   const double t = time_best(
       [&] {
         volatile double sink = 0;
-        for (int i = 0; i < 10000; ++i) sink += i;
+        for (int i = 0; i < 10000; ++i) sink = sink + i;
         ++calls;
       },
       3);

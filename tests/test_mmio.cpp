@@ -167,5 +167,77 @@ TEST(MmioFile, FileRoundTrip) {
   EXPECT_TRUE(csr_equal(a, back));
 }
 
+// ---- temp-file read -> write -> read round trips ----------------------
+// Start from an on-disk file of each supported flavor, read it, write the
+// parsed matrix back out, read again, and require the two parses to agree
+// bit-exactly (the writer always emits general real coordinate form, so the
+// second parse must reproduce the expanded first parse).
+
+namespace {
+
+CsrMatrix<IT, VT> reread_through_file(const CsrMatrix<IT, VT>& a,
+                                      const std::string& tag) {
+  const std::string path = ::testing::TempDir() + "/msp_mmio_" + tag + ".mtx";
+  write_matrix_market_file(path, a);
+  return read_matrix_market_csr<IT, VT>(path);
+}
+
+}  // namespace
+
+TEST(MmioFile, RealFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/msp_mmio_real_src.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real general\n"
+           "% negative, fractional, and integer-valued entries\n"
+           "4 5 4\n"
+           "1 1 0.5\n"
+           "2 4 -3\n"
+           "4 5 1e2\n"
+           "3 2 7\n";
+  }
+  const auto first = read_matrix_market_csr<IT, VT>(path);
+  EXPECT_EQ(first.nnz(), 4u);
+  EXPECT_TRUE(csr_equal(first, reread_through_file(first, "real")));
+}
+
+TEST(MmioFile, PatternFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/msp_mmio_pat_src.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate pattern general\n"
+           "3 3 3\n"
+           "1 3\n"
+           "2 1\n"
+           "3 3\n";
+  }
+  const auto first = read_matrix_market_csr<IT, VT>(path);
+  ASSERT_EQ(first.nnz(), 3u);
+  for (VT v : first.values) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_TRUE(csr_equal(first, reread_through_file(first, "pattern")));
+}
+
+TEST(MmioFile, SymmetricFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/msp_mmio_sym_src.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real symmetric\n"
+           "4 4 4\n"
+           "1 1 1.5\n"
+           "3 1 2.0\n"
+           "4 2 -1.0\n"
+           "4 4 4.25\n";
+  }
+  const auto first = read_matrix_market_csr<IT, VT>(path);
+  EXPECT_EQ(first.nnz(), 6u);  // two off-diagonals mirrored
+  EXPECT_EQ(first, transpose(first));
+  EXPECT_TRUE(csr_equal(first, reread_through_file(first, "symmetric")));
+}
+
+TEST(MmioFile, LargeGeneratedFileRoundTrip) {
+  const auto a = random_csr<IT, VT>(40, 33, 0.15, 17);
+  EXPECT_TRUE(csr_equal(a, reread_through_file(a, "generated")));
+}
+
 }  // namespace
 }  // namespace msp

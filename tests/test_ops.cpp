@@ -176,7 +176,9 @@ TEST(PermuteSymmetric, ReversalPreservesEntries) {
   for (std::size_t i = 0; i < 10; ++i) {
     for (std::size_t j = 0; j < 10; ++j) {
       EXPECT_EQ(dp.has(i, j), da.has(9 - i, 9 - j));
-      if (dp.has(i, j)) EXPECT_DOUBLE_EQ(dp.at(i, j), da.at(9 - i, 9 - j));
+      if (dp.has(i, j)) {
+        EXPECT_DOUBLE_EQ(dp.at(i, j), da.at(9 - i, 9 - j));
+      }
     }
   }
 }

@@ -104,7 +104,9 @@ TEST(ExtractSubmatrix, InteriorBlock) {
   for (std::size_t i = 0; i < 5; ++i) {
     for (std::size_t j = 0; j < 8; ++j) {
       EXPECT_EQ(ds.has(i, j), da.has(i + 2, j + 3));
-      if (ds.has(i, j)) EXPECT_DOUBLE_EQ(ds.at(i, j), da.at(i + 2, j + 3));
+      if (ds.has(i, j)) {
+        EXPECT_DOUBLE_EQ(ds.at(i, j), da.at(i + 2, j + 3));
+      }
     }
   }
 }

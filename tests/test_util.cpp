@@ -72,7 +72,9 @@ TEST(CheckedCast, OutOfRangeThrows) {
 TEST(Timer, MeasuresElapsedTime) {
   Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
   const double s1 = t.seconds();
   EXPECT_GT(s1, 0.0);
   // millis() reads the clock again, so it can only be >= an earlier read.
