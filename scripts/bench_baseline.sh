@@ -1,0 +1,85 @@
+#!/usr/bin/env sh
+# Record a performance baseline for later speed PRs to beat.
+#
+# Builds the bench binaries in Release mode, runs the Fig. 10 triangle-
+# counting scale sweep and (when Google Benchmark is available) the
+# accumulator microbenchmarks on generated ER/RMAT inputs, and writes the
+# results as JSON to BENCH_baseline.json (override with MSP_BASELINE_OUT).
+#
+# Sized for CI smoke runs by default; scale up with the usual env knobs:
+#   MSP_SCALE_MIN / MSP_SCALE_MAX   fig10 R-MAT scale range (default 8..10)
+#   MSP_REPS                        repetitions per measurement (default 3)
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${MSP_BENCH_BUILD_DIR:-build-bench}
+OUT=${MSP_BASELINE_OUT:-BENCH_baseline.json}
+export MSP_SCALE_MIN=${MSP_SCALE_MIN:-8}
+export MSP_SCALE_MAX=${MSP_SCALE_MAX:-10}
+export MSP_REPS=${MSP_REPS:-3}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DMSPGEMM_BUILD_BENCH=ON \
+  -DMSPGEMM_BUILD_TESTS=OFF >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_fig10_tricount_scale >/dev/null
+# Best-effort: the micro benchmark target only exists when Google Benchmark
+# is installed; the baseline degrades gracefully without it.
+cmake --build "$BUILD_DIR" -j --target bench_micro_accumulators \
+  >/dev/null 2>&1 || true
+
+FIG10_TXT=$(mktemp)
+trap 'rm -f "$FIG10_TXT"' EXIT
+echo "running bench_fig10_tricount_scale (scales $MSP_SCALE_MIN..$MSP_SCALE_MAX, $MSP_REPS reps)" >&2
+"$BUILD_DIR/bench/bench_fig10_tricount_scale" > "$FIG10_TXT"
+
+# Turn the fig10 table (header row of scheme names, one row per scale,
+# GFLOPS cells) into a JSON array of {scale, gflops:{scheme: value}}.
+fig10_json() {
+  awk '
+    /^#/ { next }
+    header == 0 { for (i = 2; i <= NF; i++) name[i] = $i; header = NF; next }
+    {
+      printf "%s{\"scale\": %s, \"gflops\": {", sep, $1
+      for (i = 2; i <= header; i++)
+        printf "%s\"%s\": %s", (i > 2 ? ", " : ""), name[i], $i
+      printf "}}"
+      sep = ",\n      "
+    }
+  ' "$FIG10_TXT"
+}
+
+MICRO_JSON="null"
+if [ -x "$BUILD_DIR/bench/bench_micro_accumulators" ]; then
+  echo "running bench_micro_accumulators" >&2
+  MICRO_TMP=$(mktemp)
+  if "$BUILD_DIR/bench/bench_micro_accumulators" \
+       --benchmark_format=json \
+       --benchmark_min_time=0.05 > "$MICRO_TMP" 2>/dev/null; then
+    MICRO_JSON=$(cat "$MICRO_TMP")
+  fi
+  rm -f "$MICRO_TMP"
+else
+  echo "bench_micro_accumulators not built (Google Benchmark missing); skipping" >&2
+fi
+
+GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+NPROC=$(nproc 2>/dev/null || echo 1)
+DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+{
+  printf '{\n'
+  printf '  "schema": "mspgemm-bench-baseline-v1",\n'
+  printf '  "recorded_at": "%s",\n' "$DATE"
+  printf '  "git_rev": "%s",\n' "$GIT_REV"
+  printf '  "threads": %s,\n' "$NPROC"
+  printf '  "config": {"scale_min": %s, "scale_max": %s, "reps": %s},\n' \
+    "$MSP_SCALE_MIN" "$MSP_SCALE_MAX" "$MSP_REPS"
+  printf '  "fig10_tricount_scale": [\n      '
+  fig10_json
+  printf '\n  ],\n'
+  printf '  "micro_accumulators": %s\n' "$MICRO_JSON"
+  printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT" >&2

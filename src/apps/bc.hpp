@@ -35,6 +35,7 @@ struct BcResult {
   double forward_seconds = 0.0;
   double backward_seconds = 0.0;
   int depth = 0;                    ///< number of BFS levels processed
+  PlanUsageStats plan_stats;        ///< setup/symbolic accounting
 };
 
 namespace detail {
@@ -65,11 +66,16 @@ CsrMatrix<IT, VT> backward_seed(const CsrMatrix<IT, VT>& frontier,
 /// Betweenness centrality for the given batch of `sources` on a symmetric
 /// adjacency matrix `adj`, using `scheme` for every Masked SpGEMM. Schemes
 /// without complement support (MCA) are rejected, matching the paper's
-/// exclusion of MCA from this benchmark.
+/// exclusion of MCA from this benchmark. With a non-null `ctx` every
+/// multiply runs plan-then-execute; since BC's frontier/visited patterns
+/// are deterministic, a repeated batch over the same graph (benchmark
+/// repetitions, a service answering per-batch queries) hits the plan cache
+/// on every level and skips all symbolic/setup work.
 template <class IT, class VT>
 BcResult<IT> betweenness_centrality(const CsrMatrix<IT, VT>& adj,
                                     const std::vector<IT>& sources,
-                                    Scheme scheme = Scheme::kMsa1P) {
+                                    Scheme scheme = Scheme::kMsa1P,
+                                    ExecutionContext* ctx = nullptr) {
   if (adj.nrows != adj.ncols) {
     throw invalid_argument_error("betweenness_centrality: square matrix required");
   }
@@ -103,10 +109,16 @@ BcResult<IT> betweenness_centrality(const CsrMatrix<IT, VT>& adj,
   std::vector<CsrMatrix<IT, VT>> levels;
   levels.push_back(frontier);
   while (frontier.nnz() > 0) {
+    MaskedSpgemmStats stats;
     Timer timer;
-    CsrMatrix<IT, VT> next = run_scheme<PlusTimes<VT>>(
-        scheme, frontier, a, visited, MaskKind::kComplement);
+    CsrMatrix<IT, VT> next =
+        ctx != nullptr
+            ? run_scheme<PlusTimes<VT>>(scheme, frontier, a, visited, *ctx,
+                                        MaskKind::kComplement, &stats)
+            : run_scheme<PlusTimes<VT>>(scheme, frontier, a, visited,
+                                        MaskKind::kComplement);
     result.forward_seconds += timer.seconds();
+    if (ctx != nullptr) result.plan_stats.absorb(stats);
     if (next.nnz() == 0) break;
     visited = ewise_add(visited, next);
     frontier = next;
@@ -120,10 +132,16 @@ BcResult<IT> betweenness_centrality(const CsrMatrix<IT, VT>& adj,
   for (std::size_t d = levels.size(); d-- > 1;) {
     const CsrMatrix<IT, VT> seed =
         detail::backward_seed(levels[d], delta);
+    MaskedSpgemmStats stats;
     Timer timer;
-    CsrMatrix<IT, VT> w = run_scheme<PlusTimes<VT>>(
-        scheme, seed, a, levels[d - 1], MaskKind::kMask);
+    CsrMatrix<IT, VT> w =
+        ctx != nullptr
+            ? run_scheme<PlusTimes<VT>>(scheme, seed, a, levels[d - 1], *ctx,
+                                        MaskKind::kMask, &stats)
+            : run_scheme<PlusTimes<VT>>(scheme, seed, a, levels[d - 1],
+                                        MaskKind::kMask);
     result.backward_seconds += timer.seconds();
+    if (ctx != nullptr) result.plan_stats.absorb(stats);
     // Δ += W .* σ (σ = the values stored in the shallower frontier).
     const CsrMatrix<IT, VT> contrib = ewise_mult(w, levels[d - 1]);
     delta = ewise_add(delta, contrib);
@@ -150,12 +168,13 @@ BcResult<IT> betweenness_centrality(const CsrMatrix<IT, VT>& adj,
 template <class IT, class VT>
 BcResult<IT> betweenness_centrality_batch(const CsrMatrix<IT, VT>& adj,
                                           IT batch_size,
-                                          Scheme scheme = Scheme::kMsa1P) {
+                                          Scheme scheme = Scheme::kMsa1P,
+                                          ExecutionContext* ctx = nullptr) {
   std::vector<IT> sources;
   const IT b = std::min(batch_size, adj.nrows);
   sources.reserve(static_cast<std::size_t>(b));
   for (IT s = 0; s < b; ++s) sources.push_back(s);
-  return betweenness_centrality(adj, sources, scheme);
+  return betweenness_centrality(adj, sources, scheme, ctx);
 }
 
 }  // namespace msp

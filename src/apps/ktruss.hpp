@@ -6,6 +6,13 @@
 // set, so support is only computed for surviving edges), prunes edges with
 // support < k-2, and repeats until a fixpoint. The paper reports total flops
 // over all Masked SpGEMM calls divided by their total time (with k = 5).
+//
+// With an ExecutionContext the multiplies run plan-then-execute: per-thread
+// kernel scratch persists across iterations, the plan supplies per-row
+// flops (shared with the flops statistic below), and — because a context
+// outlives one ktruss() call — a *repeated* run over the same graph (a
+// service answering k-truss queries, a benchmark's repetition loop) hits
+// the plan cache on every iteration and skips all symbolic/setup work.
 #pragma once
 
 #include <cstdint>
@@ -24,14 +31,18 @@ struct KtrussResult {
   int iterations = 0;
   double spgemm_seconds = 0.0;  ///< sum over all Masked SpGEMM calls
   std::int64_t flops = 0;       ///< sum of flops(C·C) over all iterations
+  PlanUsageStats plan_stats;    ///< per-multiply setup/symbolic accounting
 };
 
 /// Compute the k-truss with the given Masked SpGEMM scheme. `adj` must be a
-/// symmetric adjacency matrix without self-loops; k must be >= 3.
+/// symmetric adjacency matrix without self-loops; k must be >= 3. With a
+/// non-null `ctx` every multiply is plan-then-execute through the context's
+/// plan cache and per-thread scratch.
 template <class IT, class VT>
 KtrussResult<IT, VT> ktruss(const CsrMatrix<IT, VT>& adj, int k,
                             Scheme scheme = Scheme::kMsa1P,
-                            int max_iterations = 1000) {
+                            int max_iterations = 1000,
+                            ExecutionContext* ctx = nullptr) {
   if (k < 3) throw invalid_argument_error("ktruss: k must be >= 3");
   KtrussResult<IT, VT> result;
   CsrMatrix<IT, VT> c = to_pattern(adj);
@@ -39,18 +50,31 @@ KtrussResult<IT, VT> ktruss(const CsrMatrix<IT, VT>& adj, int k,
 
   for (int iter = 0; iter < max_iterations; ++iter) {
     ++result.iterations;
-    result.flops += total_flops(c, c);
-    // C is symmetric, so its CSR arrays reinterpreted column-wise are a
-    // valid CSC view — the Inner schemes get their column-major B for the
-    // cost of a copy, not a transpose (prepared outside the timed region).
-    const CscMatrix<IT, VT> c_csc(c.nrows, c.ncols,
-                                  std::vector<IT>(c.rowptr),
-                                  std::vector<IT>(c.colids),
-                                  std::vector<VT>(c.values));
-    Timer timer;
-    const CsrMatrix<IT, VT> support =
-        run_scheme_csc<PlusPair<VT>>(scheme, c, c, c_csc, c);
-    result.spgemm_seconds += timer.seconds();
+    MaskedSpgemmStats stats;
+    CsrMatrix<IT, VT> support;
+    if (ctx != nullptr) {
+      // Plan path: the plan's flops double as the statistic, the plan's
+      // lazily cached transpose serves the Inner schemes — no eager CSC
+      // copy, no separate flops scan.
+      Timer timer;
+      support = run_scheme<PlusPair<VT>>(scheme, c, c, c, *ctx,
+                                         MaskKind::kMask, &stats);
+      result.spgemm_seconds += timer.seconds();
+      result.flops += stats.total_flops;
+    } else {
+      result.flops += total_flops(c, c);
+      // C is symmetric, so its CSR arrays reinterpreted column-wise are a
+      // valid CSC view — the Inner schemes get their column-major B for the
+      // cost of a copy, not a transpose (prepared outside the timed region).
+      const CscMatrix<IT, VT> c_csc(c.nrows, c.ncols,
+                                    std::vector<IT>(c.rowptr),
+                                    std::vector<IT>(c.colids),
+                                    std::vector<VT>(c.values));
+      Timer timer;
+      support = run_scheme_csc<PlusPair<VT>>(scheme, c, c, c_csc, c);
+      result.spgemm_seconds += timer.seconds();
+    }
+    if (ctx != nullptr) result.plan_stats.absorb(stats);
 
     // Keep edges supported by >= k-2 triangles. Edges absent from `support`
     // have zero common neighbours and are dropped implicitly.

@@ -43,18 +43,29 @@ struct TricountResult {
   std::int64_t triangles = 0;
   double spgemm_seconds = 0.0;  ///< Masked SpGEMM time only
   std::int64_t flops = 0;       ///< flops(L·L)
+  PlanUsageStats plan_stats;    ///< setup/symbolic accounting (ctx path)
 };
 
-/// Count triangles with the given Masked SpGEMM scheme.
+/// Count triangles with the given Masked SpGEMM scheme. With a non-null
+/// `ctx` the multiply is plan-then-execute: a repeated count over the same
+/// prepared input (the benchmark repetition loop, a service) reuses the
+/// cached plan and skips flops/bounds/symbolic/transpose setup entirely.
 template <class IT, class VT>
 TricountResult<IT> triangle_count(const TricountInput<IT, VT>& input,
-                                  Scheme scheme) {
+                                  Scheme scheme,
+                                  ExecutionContext* ctx = nullptr) {
   TricountResult<IT> result;
   result.flops = input.flops;
+  MaskedSpgemmStats stats;
   Timer timer;
-  const CsrMatrix<IT, VT> c = run_scheme_csc<PlusPair<VT>>(
-      scheme, input.l, input.l, input.l_csc, input.l);
+  const CsrMatrix<IT, VT> c =
+      ctx != nullptr
+          ? run_scheme<PlusPair<VT>>(scheme, input.l, input.l, input.l,
+                                     *ctx, MaskKind::kMask, &stats)
+          : run_scheme_csc<PlusPair<VT>>(scheme, input.l, input.l,
+                                         input.l_csc, input.l);
   result.spgemm_seconds = timer.seconds();
+  if (ctx != nullptr) result.plan_stats.absorb(stats);
   result.triangles = static_cast<std::int64_t>(reduce_sum(c));
   return result;
 }
@@ -62,8 +73,9 @@ TricountResult<IT> triangle_count(const TricountInput<IT, VT>& input,
 /// Convenience: prepare + count in one call (tests, examples).
 template <class IT, class VT>
 TricountResult<IT> triangle_count(const CsrMatrix<IT, VT>& adj,
-                                  Scheme scheme = Scheme::kMsa1P) {
-  return triangle_count(tricount_prepare(adj), scheme);
+                                  Scheme scheme = Scheme::kMsa1P,
+                                  ExecutionContext* ctx = nullptr) {
+  return triangle_count(tricount_prepare(adj), scheme, ctx);
 }
 
 /// The masked-SpGEMM triangle-counting formulations compared by Davis

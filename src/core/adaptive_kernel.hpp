@@ -15,9 +15,16 @@
 //     cache-resident (small ncols), Hash beyond that (paper §8.1: "MSA on
 //     smaller matrices and Hash on larger ones").
 //
+// When an SpgemmPlan is in play, its precomputed per-row flops are handed in
+// through `row_flops` and the routing decision becomes a single comparison —
+// no rescan of A's row against B's row pointers.
+//
 // The pull-based Inner kernel is not a candidate here because it needs B in
 // CSC; a row-level hybrid must work from a single storage format.
 #pragma once
+
+#include <cstdint>
+#include <memory>
 
 #include "core/hash_accumulator.hpp"
 #include "core/heap_kernel.hpp"
@@ -38,18 +45,30 @@ class AdaptiveKernel {
     IT msa_max_ncols = IT{1} << 15;
   };
 
+  /// Combined scratch of the three candidate kernels, borrowable from an
+  /// ExecutionContext as one unit.
+  struct Scratch {
+    typename MsaKernel<SR, IT, VT, MT>::Scratch msa;
+    typename HashKernel<SR, IT, VT, MT>::Scratch hash;
+    typename HeapKernel<SR, IT, VT, MT>::Scratch heap;
+  };
+
   AdaptiveKernel(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
                  const CsrMatrix<IT, MT>& m, bool complemented,
-                 Policy policy = {})
+                 Policy policy = {}, const std::int64_t* row_flops = nullptr,
+                 Scratch* scratch = nullptr)
       : a_(a),
         b_(b),
         m_(m),
         complemented_(complemented),
         policy_(policy),
+        flops_(row_flops),
         use_msa_(b.ncols <= policy.msa_max_ncols),
-        msa_(a, b, m, complemented),
-        hash_(a, b, m, complemented),
-        heap_(a, b, m, complemented, /*n_inspect=*/1) {}
+        owned_(scratch == nullptr ? std::make_unique<Scratch>() : nullptr),
+        s_(scratch == nullptr ? owned_.get() : scratch),
+        msa_(a, b, m, complemented, &s_->msa),
+        hash_(a, b, m, complemented, &s_->hash),
+        heap_(a, b, m, complemented, /*n_inspect=*/1, &s_->heap) {}
 
   IT numeric_row(IT i, IT* out_cols, VT* out_vals) {
     switch (route(i)) {
@@ -77,14 +96,20 @@ class AdaptiveKernel {
     // (paper §5.5) and its set-difference pass offers no shortcut, so only
     // the MSA/Hash choice remains.
     if (!complemented_) {
-      long flops = 0;
       const long mask_nnz = static_cast<long>(m_.row_nnz(i));
-      for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
-        const IT k = a_.colids[p];
-        flops += static_cast<long>(b_.rowptr[k + 1] - b_.rowptr[k]);
-        if (flops * policy_.heap_flops_factor > mask_nnz) break;  // settled
+      if (flops_ != nullptr) {
+        // Plan-supplied flops: the routing test collapses to one compare.
+        const std::int64_t f = flops_[static_cast<std::size_t>(i)];
+        if (f * policy_.heap_flops_factor <= mask_nnz) return Route::kHeap;
+      } else {
+        long flops = 0;
+        for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
+          const IT k = a_.colids[p];
+          flops += static_cast<long>(b_.rowptr[k + 1] - b_.rowptr[k]);
+          if (flops * policy_.heap_flops_factor > mask_nnz) break;  // settled
+        }
+        if (flops * policy_.heap_flops_factor <= mask_nnz) return Route::kHeap;
       }
-      if (flops * policy_.heap_flops_factor <= mask_nnz) return Route::kHeap;
     }
     return use_msa_ ? Route::kMsa : Route::kHash;
   }
@@ -94,7 +119,11 @@ class AdaptiveKernel {
   const CsrMatrix<IT, MT>& m_;
   const bool complemented_;
   const Policy policy_;
+  const std::int64_t* flops_;
   const bool use_msa_;
+
+  std::unique_ptr<Scratch> owned_;
+  Scratch* s_;
 
   MsaKernel<SR, IT, VT, MT> msa_;
   HashKernel<SR, IT, VT, MT> hash_;

@@ -119,7 +119,7 @@ CsrMatrix<IT, VT> baseline_dot(const CsrMatrix<IT, VT>& a,
   detail::validate_shapes(a.nrows, a.ncols, b.nrows, b.ncols, m);
   const CscMatrix<IT, VT> b_csc = csr_to_csc(b);  // paid on every call
   const bool complemented = kind == MaskKind::kComplement;
-  auto factory = [&] {
+  auto factory = [&](int) {
     return detail::BaselineDotKernel<SR, IT, VT, MT>(a, b_csc, m,
                                                      complemented);
   };

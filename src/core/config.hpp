@@ -1,0 +1,140 @@
+// Execution-configuration types shared by the planless dispatcher
+// (core/masked_spgemm.hpp) and the plan/execute subsystem (core/plan.hpp,
+// core/exec_context.hpp). Kept dependency-free so the plan layer can talk
+// about mask kinds and statistics without pulling in the kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace msp {
+
+/// The algorithm families evaluated in the paper (§8: 6 schemes × 2 phases).
+enum class MaskedAlgorithm {
+  kMsa,      ///< masked sparse accumulator (§5.2)
+  kHash,     ///< hash accumulator (§5.3)
+  kMca,      ///< mask compressed accumulator (§5.4); no complement support
+  kHeap,     ///< heap with NInspect = 1 (§5.5)
+  kHeapDot,  ///< heap with NInspect = ∞ (§5.5)
+  kInner,    ///< pull-based inner product (§4.1)
+  kAdaptive, ///< per-row hybrid of MSA/Hash/Heap (paper §9 future work)
+};
+
+/// One-phase vs two-phase execution (paper §6).
+enum class MaskedPhase {
+  kOnePhase,
+  kTwoPhase,
+};
+
+/// Regular mask (keep M's pattern) vs complemented mask (keep everything
+/// except M's pattern).
+enum class MaskKind {
+  kMask,
+  kComplement,
+};
+
+/// GraphBLAS mask semantics: a *structural* mask admits every stored entry
+/// (the paper's setting — §2: "we only utilize the pattern of the mask");
+/// a *valued* mask additionally requires the stored value to be nonzero,
+/// so explicitly stored zeros do not admit their position.
+enum class MaskSemantics {
+  kStructural,
+  kValued,
+};
+
+/// Execution statistics filled when MaskedSpgemmOptions::stats is set —
+/// the observable data behind the paper's §6 one-phase/two-phase
+/// discussion (phase time split and the quality of the mask-derived
+/// output-size bound), extended with the plan/execute split's setup
+/// accounting so callers can see what plan reuse amortizes away.
+struct MaskedSpgemmStats {
+  double symbolic_seconds = 0.0;  ///< 2P only: pattern-counting pass
+  double numeric_seconds = 0.0;   ///< value-producing pass
+  double assemble_seconds = 0.0;  ///< 1P only: compaction into final CSR
+  std::size_t output_nnz = 0;
+  std::size_t bound_nnz = 0;      ///< 1P only: Σ per-row upper bounds
+
+  /// Plan-based execution only: seconds spent building or extending plan
+  /// artifacts (flops, bounds, symbolic structure, transpose, partition)
+  /// during this call. Zero when the plan cache already held everything.
+  double plan_seconds = 0.0;
+  /// Plan-based execution only: true when the keyed plan cache already
+  /// held a plan for the operand patterns (no planning from scratch).
+  bool plan_cache_hit = false;
+  /// 2P only: true when the symbolic phase was skipped because the plan
+  /// already carried the output row pointers.
+  bool symbolic_skipped = false;
+  /// Plan-based execution only: flops(A·B) from the plan — free for
+  /// callers that would otherwise rescan A/B (GFLOPS metrics, k-truss).
+  std::int64_t total_flops = 0;
+
+  /// output_nnz / bound_nnz — how tight the paper's nnz(M) bound was
+  /// (1.0 = exact; meaningful for one-phase runs only).
+  [[nodiscard]] double bound_tightness() const {
+    return bound_nnz == 0 ? 1.0
+                          : static_cast<double>(output_nnz) /
+                                static_cast<double>(bound_nnz);
+  }
+};
+
+/// Aggregated per-call statistics for an iterative algorithm or service
+/// that issues many masked multiplies — the observable evidence of what
+/// plan reuse amortizes (symbolic passes skipped, planning time saved).
+struct PlanUsageStats {
+  double symbolic_seconds = 0.0;  ///< total symbolic time actually spent
+  double numeric_seconds = 0.0;
+  double plan_seconds = 0.0;      ///< total planning/setup time
+  std::size_t calls = 0;
+  std::size_t plan_hits = 0;
+  std::size_t plan_misses = 0;
+  std::size_t symbolic_skips = 0;
+
+  /// Fold one multiply's stats into the totals.
+  void absorb(const MaskedSpgemmStats& s) {
+    ++calls;
+    symbolic_seconds += s.symbolic_seconds;
+    numeric_seconds += s.numeric_seconds;
+    plan_seconds += s.plan_seconds;
+    if (s.plan_cache_hit) ++plan_hits; else ++plan_misses;
+    if (s.symbolic_skipped) ++symbolic_skips;
+  }
+
+  /// Symbolic + planning: the setup work the plan/execute split targets.
+  [[nodiscard]] double setup_seconds() const {
+    return symbolic_seconds + plan_seconds;
+  }
+};
+
+struct MaskedSpgemmOptions {
+  MaskedAlgorithm algorithm = MaskedAlgorithm::kMsa;
+  MaskedPhase phase = MaskedPhase::kOnePhase;
+  MaskKind mask_kind = MaskKind::kMask;
+  /// OpenMP dynamic-schedule chunk (rows per work unit) for the planless
+  /// path. 0 (the default) derives the chunk from rows/threads; plan-based
+  /// execution uses the plan's flops-binned partition instead.
+  int chunk_rows = 0;
+  /// Override the heap kernel's NInspect (paper §5.5): -1 keeps the
+  /// algorithm's default (1 for kHeap, ∞ for kHeapDot); 0/1/... force a
+  /// value. Used by the NInspect ablation benchmark.
+  long heap_n_inspect = -1;
+  /// When non-null, filled with phase timings and bound quality.
+  MaskedSpgemmStats* stats = nullptr;
+  /// Structural (default, as in the paper) or valued mask interpretation.
+  MaskSemantics mask_semantics = MaskSemantics::kStructural;
+};
+
+/// Human-readable scheme name, e.g. "MSA-1P" — the labels of paper Fig. 8.
+inline const char* algorithm_name(MaskedAlgorithm a) {
+  switch (a) {
+    case MaskedAlgorithm::kMsa: return "MSA";
+    case MaskedAlgorithm::kHash: return "Hash";
+    case MaskedAlgorithm::kMca: return "MCA";
+    case MaskedAlgorithm::kHeap: return "Heap";
+    case MaskedAlgorithm::kHeapDot: return "HeapDot";
+    case MaskedAlgorithm::kInner: return "Inner";
+    case MaskedAlgorithm::kAdaptive: return "Adaptive";
+  }
+  return "?";
+}
+
+}  // namespace msp

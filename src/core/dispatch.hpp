@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "core/baseline.hpp"
+#include "core/exec_context.hpp"
 #include "core/masked_spgemm.hpp"
+#include "matrix/ops.hpp"
 
 namespace msp {
 
@@ -130,6 +132,41 @@ CsrMatrix<IT, VT> run_scheme(Scheme s, const CsrMatrix<IT, VT>& a,
   opt.mask_kind = kind;
   if (scheme_to_options(s, opt)) {
     return masked_multiply<SR>(a, b, m, opt);
+  }
+  if (s == Scheme::kSsDot) return baseline_dot<SR>(a, b, m, kind);
+  return baseline_saxpy<SR>(a, b, m, kind);
+}
+
+/// Run one scheme through an ExecutionContext — the plan-then-execute
+/// counterpart of run_scheme. The twelve paper schemes go through the
+/// context's keyed plan cache (repeated calls on unchanged patterns reuse
+/// flops/bounds/symbolic structure/transpose and per-thread scratch); the
+/// SS-style baselines have no plan concept and run planless, with the
+/// valued-semantics reduction applied here.
+template <Semiring SR, class IT, class VT, class MT>
+CsrMatrix<IT, VT> run_scheme(Scheme s, const CsrMatrix<IT, VT>& a,
+                             const CsrMatrix<IT, VT>& b,
+                             const CsrMatrix<IT, MT>& m,
+                             ExecutionContext& ctx,
+                             MaskKind kind = MaskKind::kMask,
+                             MaskedSpgemmStats* stats = nullptr,
+                             MaskSemantics semantics =
+                                 MaskSemantics::kStructural) {
+  MaskedSpgemmOptions opt;
+  opt.mask_kind = kind;
+  opt.stats = stats;
+  opt.mask_semantics = semantics;
+  if (scheme_to_options(s, opt)) {
+    return ctx.multiply<SR>(a, b, m, opt);
+  }
+  // Baselines fill the plan-derived stats fields the callers rely on
+  // (ktruss reads total_flops) even though they execute planless.
+  if (stats != nullptr) stats->total_flops = total_flops(a, b);
+  if (semantics == MaskSemantics::kValued) {
+    const CsrMatrix<IT, MT> held =
+        select(m, [](IT, IT, const MT& v) { return v != MT{}; });
+    return s == Scheme::kSsDot ? baseline_dot<SR>(a, b, held, kind)
+                               : baseline_saxpy<SR>(a, b, held, kind);
   }
   if (s == Scheme::kSsDot) return baseline_dot<SR>(a, b, m, kind);
   return baseline_saxpy<SR>(a, b, m, kind);

@@ -1,0 +1,282 @@
+// The execution half of the plan/execute split.
+//
+// An `ExecutionContext` is the long-lived object a service (or an iterative
+// graph algorithm) keeps across many masked multiplies. It owns
+//
+//  * a keyed plan cache: plans (core/plan.hpp) indexed by the operand
+//    pattern fingerprints × mask kind × mask semantics, FIFO-evicted, so a
+//    repeated call on unchanged patterns skips flops counting, one-phase
+//    bounds, the two-phase symbolic pass, B's transpose, and partitioning;
+//  * per-thread kernel scratch, type-erased and reused across calls: the
+//    MSA kernel's O(ncols) dense arrays, the hash kernel's warmed-up slot
+//    table, the heap and MCA arrays — allocated once per thread instead of
+//    once per call.
+//
+// `multiply` is the plan-then-execute counterpart of `masked_multiply`; it
+// produces bit-identical results (the conformance suite pins both to the
+// same baseline). An ExecutionContext must not be shared by concurrent
+// callers — it is designed for one caller issuing a stream of multiplies,
+// each of which parallelizes internally.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/masked_spgemm.hpp"
+#include "core/plan.hpp"
+#include "util/common.hpp"
+#include "util/timer.hpp"
+
+namespace msp {
+
+class ExecutionContext {
+ public:
+  /// `max_plans` bounds the plan cache (FIFO eviction); plans can hold
+  /// O(nrows + nnz(B)) data each, so unbounded growth would be a leak in a
+  /// long-running service.
+  explicit ExecutionContext(std::size_t max_plans = 64)
+      : max_plans_(std::max<std::size_t>(1, max_plans)) {}
+
+  /// Cumulative cache behaviour — the observable side of amortization.
+  struct CacheStats {
+    std::size_t plan_hits = 0;
+    std::size_t plan_misses = 0;
+    std::size_t plan_evictions = 0;
+    double plan_seconds = 0.0;  ///< total planning/setup time across calls
+  };
+
+  [[nodiscard]] const CacheStats& cache_stats() const { return stats_; }
+  [[nodiscard]] std::size_t plan_count() const { return plans_.size(); }
+
+  /// Drop every cached plan and all per-thread scratch.
+  void clear() {
+    plans_.clear();
+    order_.clear();
+    thread_scratch_.clear();
+  }
+
+  /// Fetch (or build) the plan for the given operands/configuration. The
+  /// returned reference stays valid until `max_plans` later misses evict
+  /// it or clear() is called; the common usage is within one multiply.
+  template <class IT, class VT, class MT>
+  SpgemmPlan<IT, VT, MT>& plan_for(const CsrMatrix<IT, VT>& a,
+                                   const CsrMatrix<IT, VT>& b,
+                                   const CsrMatrix<IT, MT>& m, MaskKind kind,
+                                   MaskSemantics semantics,
+                                   bool* cache_hit = nullptr) {
+    using Plan = SpgemmPlan<IT, VT, MT>;
+    // Aliased operands (ktruss: A = B = M = C; tricount: L thrice) are
+    // fingerprinted once, not three times.
+    const bool valued = semantics == MaskSemantics::kValued;
+    const std::uint64_t fa = pattern_fingerprint(a);
+    const std::uint64_t fb = &b == &a ? fa : pattern_fingerprint(b);
+    std::uint64_t fm;
+    if constexpr (std::is_same_v<VT, MT>) {
+      if (!valued && static_cast<const void*>(&m) ==
+                         static_cast<const void*>(&a)) {
+        fm = fa;
+      } else if (!valued && static_cast<const void*>(&m) ==
+                                static_cast<const void*>(&b)) {
+        fm = fb;
+      } else {
+        fm = pattern_fingerprint(m, valued);
+      }
+    } else {
+      fm = pattern_fingerprint(m, valued);
+    }
+    const PlanKey key{fa,
+                      fb,
+                      fm,
+                      static_cast<int>(kind),
+                      static_cast<int>(semantics),
+                      std::type_index(typeid(Plan))};
+    auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      ++stats_.plan_hits;
+      if (cache_hit != nullptr) *cache_hit = true;
+      return *static_cast<Plan*>(it->second.get());
+    }
+    ++stats_.plan_misses;
+    if (cache_hit != nullptr) *cache_hit = false;
+    auto plan = std::make_shared<Plan>(a, b, m, kind, semantics);
+    Plan& ref = *plan;
+    plans_.emplace(key, std::move(plan));
+    order_.push_back(key);
+    while (plans_.size() > max_plans_) {
+      plans_.erase(order_.front());
+      order_.pop_front();
+      ++stats_.plan_evictions;
+    }
+    return ref;
+  }
+
+  /// Per-thread scratch of any default-constructible type, created on
+  /// first use and kept for the context's lifetime. Safe to call from
+  /// inside a parallel region: each thread only touches its own slot
+  /// (the slot vector is pre-sized serially by multiply()).
+  template <class T>
+  T& scratch(int tid) {
+    MSP_ASSERT(tid >= 0 &&
+               static_cast<std::size_t>(tid) < thread_scratch_.size());
+    auto& map = thread_scratch_[static_cast<std::size_t>(tid)];
+    auto it = map.find(std::type_index(typeid(T)));
+    if (it == map.end()) {
+      it = map.emplace(std::type_index(typeid(T)), std::make_shared<T>())
+               .first;
+    }
+    return *static_cast<T*>(it->second.get());
+  }
+
+  /// Size the per-thread scratch table (serial; called before parallel
+  /// regions hand out scratch references).
+  void prepare_threads(int n) {
+    if (static_cast<std::size_t>(n) > thread_scratch_.size()) {
+      thread_scratch_.resize(static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Plan-then-execute Masked SpGEMM: C = M ⊙ (A·B) (or ¬M ⊙ (A·B)).
+  /// Bit-identical to masked_multiply with the same options; repeated
+  /// calls on unchanged operand patterns reuse the cached plan (values
+  /// may differ — they are re-read from the operands every call).
+  template <Semiring SR, class IT, class VT, class MT>
+  CsrMatrix<IT, VT> multiply(const CsrMatrix<IT, VT>& a,
+                             const CsrMatrix<IT, VT>& b,
+                             const CsrMatrix<IT, MT>& m,
+                             const MaskedSpgemmOptions& opt = {}) {
+    detail::validate_shapes(a.nrows, a.ncols, b.nrows, b.ncols, m);
+    const bool complemented = opt.mask_kind == MaskKind::kComplement;
+    if (complemented && opt.algorithm == MaskedAlgorithm::kMca) {
+      throw invalid_argument_error("MCA does not support complemented masks");
+    }
+
+    Timer plan_timer;
+    bool hit = false;
+    auto& plan = plan_for<IT, VT, MT>(a, b, m, opt.mask_kind,
+                                      opt.mask_semantics, &hit);
+    const CsrMatrix<IT, MT>& mm = plan.effective_mask(m);
+    const RowPartition<IT>& partition = plan.ensure_partition(max_threads());
+    const std::vector<std::size_t>* ub = nullptr;
+    if (opt.phase == MaskedPhase::kOnePhase) ub = &plan.ensure_bounds(m);
+    const CscMatrix<IT, VT>* b_csc = nullptr;
+    if (opt.algorithm == MaskedAlgorithm::kInner) {
+      b_csc = &plan.ensure_b_csc(b);
+    }
+    prepare_threads(max_threads());
+    const double plan_seconds = plan_timer.seconds();
+    stats_.plan_seconds += plan_seconds;
+    if (opt.stats != nullptr) {
+      opt.stats->plan_seconds = plan_seconds;
+      opt.stats->plan_cache_hit = hit;
+      opt.stats->symbolic_skipped = false;
+      opt.stats->total_flops = plan.total_flops();
+    }
+
+    // First execution of either phase exports the output row structure
+    // into the plan so later two-phase runs skip their symbolic pass.
+    const std::vector<IT>* cached_rowptr =
+        plan.has_structure() ? &plan.structure_rowptr() : nullptr;
+    std::vector<IT>* sink = plan.structure_sink();
+
+    auto run = [&](auto&& factory) {
+      if (opt.phase == MaskedPhase::kOnePhase) {
+        return detail::run_one_phase<IT, VT>(m.nrows, b.ncols, *ub, factory,
+                                             opt.chunk_rows, opt.stats,
+                                             &partition, sink);
+      }
+      return detail::run_two_phase<IT, VT>(m.nrows, b.ncols, factory,
+                                           opt.chunk_rows, opt.stats,
+                                           &partition, cached_rowptr, sink);
+    };
+
+    switch (opt.algorithm) {
+      case MaskedAlgorithm::kMsa: {
+        using K = MsaKernel<SR, IT, VT, MT>;
+        return run([&](int tid) {
+          return K(a, b, mm, complemented,
+                   &scratch<typename K::Scratch>(tid));
+        });
+      }
+      case MaskedAlgorithm::kHash: {
+        using K = HashKernel<SR, IT, VT, MT>;
+        return run([&](int tid) {
+          return K(a, b, mm, complemented,
+                   &scratch<typename K::Scratch>(tid));
+        });
+      }
+      case MaskedAlgorithm::kMca: {
+        using K = McaKernel<SR, IT, VT, MT>;
+        return run([&](int tid) {
+          return K(a, b, mm, complemented,
+                   &scratch<typename K::Scratch>(tid));
+        });
+      }
+      case MaskedAlgorithm::kHeap:
+      case MaskedAlgorithm::kHeapDot: {
+        using K = HeapKernel<SR, IT, VT, MT>;
+        const long fallback =
+            opt.algorithm == MaskedAlgorithm::kHeap ? 1 : kInspectAll;
+        const long inspect =
+            opt.heap_n_inspect >= 0 ? opt.heap_n_inspect : fallback;
+        return run([&, inspect](int tid) {
+          return K(a, b, mm, complemented, inspect,
+                   &scratch<typename K::Scratch>(tid));
+        });
+      }
+      case MaskedAlgorithm::kInner: {
+        using K = InnerKernel<SR, IT, VT, MT>;
+        return run([&](int) { return K(a, *b_csc, mm, complemented); });
+      }
+      case MaskedAlgorithm::kAdaptive: {
+        using K = AdaptiveKernel<SR, IT, VT, MT>;
+        return run([&](int tid) {
+          return K(a, b, mm, complemented, typename K::Policy{},
+                   plan.flops().data(), &scratch<typename K::Scratch>(tid));
+        });
+      }
+    }
+    throw invalid_argument_error("ExecutionContext: unknown algorithm");
+  }
+
+ private:
+  struct PlanKey {
+    std::uint64_t fa;
+    std::uint64_t fb;
+    std::uint64_t fm;
+    int kind;
+    int semantics;
+    std::type_index type;
+
+    bool operator==(const PlanKey& o) const {
+      return fa == o.fa && fb == o.fb && fm == o.fm && kind == o.kind &&
+             semantics == o.semantics && type == o.type;
+    }
+  };
+
+  struct PlanKeyHash {
+    std::size_t operator()(const PlanKey& k) const {
+      std::uint64_t h = k.fa;
+      h = detail::hash_mix(h, k.fb);
+      h = detail::hash_mix(h, k.fm);
+      h = detail::hash_mix(h, static_cast<std::uint64_t>(k.kind));
+      h = detail::hash_mix(h, static_cast<std::uint64_t>(k.semantics));
+      h = detail::hash_mix(h,
+                           static_cast<std::uint64_t>(k.type.hash_code()));
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  std::size_t max_plans_;
+  std::unordered_map<PlanKey, std::shared_ptr<void>, PlanKeyHash> plans_;
+  std::deque<PlanKey> order_;
+  CacheStats stats_;
+  std::vector<std::unordered_map<std::type_index, std::shared_ptr<void>>>
+      thread_scratch_;
+};
+
+}  // namespace msp

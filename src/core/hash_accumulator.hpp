@@ -17,6 +17,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include "core/accumulator.hpp"
@@ -29,11 +31,19 @@ namespace msp {
 template <Semiring SR, class IT, class VT, class MT>
 class HashKernel {
  public:
+  struct Scratch;
+
   HashKernel(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
-             const CsrMatrix<IT, MT>& m, bool complemented)
+             const CsrMatrix<IT, MT>& m, bool complemented,
+             Scratch* scratch = nullptr)
       : a_(a), b_(b), m_(m), complemented_(complemented) {
-    slots_.resize(16);
-    if (complemented_) inserted_.reserve(64);
+    if (scratch == nullptr) {
+      owned_ = std::make_unique<Scratch>();
+      scratch = owned_.get();
+    }
+    s_ = scratch;
+    if (s_->slots.empty()) s_->slots.resize(16);
+    if (complemented_) s_->inserted.reserve(64);
   }
 
   IT numeric_row(IT i, IT* out_cols, VT* out_vals) {
@@ -54,6 +64,10 @@ class HashKernel {
     VT value{};
   };
 
+  // The open-addressing table and its epoch live in a Scratch that an
+  // ExecutionContext can lend per thread, so the table keeps its warmed-up
+  // capacity across calls instead of restarting at 16 slots every time.
+
   static std::size_t hash_key(IT key) {
     return static_cast<std::size_t>(
         (static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ULL) >> 32);
@@ -63,20 +77,25 @@ class HashKernel {
   void begin_row(std::size_t max_live_keys) {
     const std::size_t needed = next_pow2(std::max<std::size_t>(
         4 * std::max<std::size_t>(max_live_keys, 1), 16));
-    if (slots_.size() < needed) {
-      slots_.assign(needed, Slot{});
-      epoch_ = 0;
+    if (s_->slots.size() < needed) {
+      s_->slots.assign(needed, Slot{});
+      s_->epoch = 0;
+    } else if (s_->epoch == std::numeric_limits<std::uint32_t>::max()) {
+      // Epoch wrap (possible once the scratch persists across calls):
+      // clear the stamps so stale entries cannot alias the new epoch.
+      std::fill(s_->slots.begin(), s_->slots.end(), Slot{});
+      s_->epoch = 0;
     }
-    ++epoch_;
-    mask_ = slots_.size() - 1;
-    inserted_.clear();
+    ++s_->epoch;
+    mask_ = s_->slots.size() - 1;
+    s_->inserted.clear();
   }
 
   Slot& probe(IT key, bool& found) {
     std::size_t idx = hash_key(key) & mask_;
     for (;;) {
-      Slot& s = slots_[idx];
-      if (s.epoch != epoch_) {
+      Slot& s = s_->slots[idx];
+      if (s.epoch != s_->epoch) {
         found = false;
         return s;
       }
@@ -106,7 +125,7 @@ class HashKernel {
       Slot& s = probe(j, found);
       if (!found) {
         s.key = j;
-        s.epoch = epoch_;
+        s.epoch = s_->epoch;
         s.state = EntryState::kAllowed;
       }
     }
@@ -164,7 +183,7 @@ class HashKernel {
       Slot& s = probe(j, found);
       if (!found) {
         s.key = j;
-        s.epoch = epoch_;
+        s.epoch = s_->epoch;
         s.state = EntryState::kNotAllowed;
       }
     }
@@ -177,10 +196,10 @@ class HashKernel {
         Slot& s = probe(j, found);
         if (!found) {
           s.key = j;
-          s.epoch = epoch_;
+          s.epoch = s_->epoch;
           s.state = EntryState::kSet;
           if constexpr (Numeric) s.value = SR::multiply(av, b_.values[q]);
-          inserted_.push_back(j);
+          s_->inserted.push_back(j);
         } else if (s.state == EntryState::kSet) {
           if constexpr (Numeric) {
             s.value = SR::add(s.value, SR::multiply(av, b_.values[q]));
@@ -189,10 +208,10 @@ class HashKernel {
         // NOTALLOWED (mask hit): discard without evaluating further.
       }
     }
-    if constexpr (!Numeric) return static_cast<IT>(inserted_.size());
-    std::sort(inserted_.begin(), inserted_.end());
+    if constexpr (!Numeric) return static_cast<IT>(s_->inserted.size());
+    std::sort(s_->inserted.begin(), s_->inserted.end());
     IT cnt = 0;
-    for (IT j : inserted_) {
+    for (IT j : s_->inserted) {
       bool found;
       Slot& s = probe(j, found);
       MSP_ASSERT(found && s.state == EntryState::kSet);
@@ -208,10 +227,16 @@ class HashKernel {
   const CsrMatrix<IT, MT>& m_;
   const bool complemented_;
 
-  std::vector<Slot> slots_;
-  std::vector<IT> inserted_;
+  std::unique_ptr<Scratch> owned_;
+  Scratch* s_ = nullptr;
   std::size_t mask_ = 0;
-  std::uint32_t epoch_ = 0;
+
+ public:
+  struct Scratch {
+    std::vector<Slot> slots;
+    std::vector<IT> inserted;
+    std::uint32_t epoch = 0;
+  };
 };
 
 }  // namespace msp

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "matrix/csr.hpp"
@@ -28,14 +29,22 @@ inline constexpr long kInspectAll = std::numeric_limits<long>::max();
 template <Semiring SR, class IT, class VT, class MT>
 class HeapKernel {
  public:
+  struct Scratch;
+
   HeapKernel(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
              const CsrMatrix<IT, MT>& m, bool complemented,
-             long n_inspect = 1)
+             long n_inspect = 1, Scratch* scratch = nullptr)
       : a_(a),
         b_(b),
         m_(m),
         complemented_(complemented),
-        n_inspect_(complemented ? 0 : n_inspect) {}
+        n_inspect_(complemented ? 0 : n_inspect) {
+    if (scratch == nullptr) {
+      owned_ = std::make_unique<Scratch>();
+      scratch = owned_.get();
+    }
+    s_ = scratch;
+  }
 
   IT numeric_row(IT i, IT* out_cols, VT* out_vals) {
     return complemented_ ? row_complement<true>(i, out_cols, out_vals)
@@ -59,7 +68,8 @@ class HeapKernel {
   // ---- binary min-heap on RowIter::col -------------------------------
 
   void heap_push(const RowIter& it) {
-    heap_.push_back(it);
+    s_->heap.push_back(it);
+    auto& heap_ = s_->heap;
     std::size_t c = heap_.size() - 1;
     while (c > 0) {
       const std::size_t parent = (c - 1) / 2;
@@ -70,6 +80,7 @@ class HeapKernel {
   }
 
   RowIter heap_pop() {
+    auto& heap_ = s_->heap;
     RowIter top = heap_.front();
     heap_.front() = heap_.back();
     heap_.pop_back();
@@ -125,7 +136,7 @@ class HeapKernel {
   IT row_plain(IT i, IT* out_cols, VT* out_vals) {
     const auto mcols = m_.row_cols(i);
     if (mcols.empty()) return 0;
-    heap_.clear();
+    s_->heap.clear();
     for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
       const IT k = a_.colids[p];
       insert_with_inspect(
@@ -135,7 +146,7 @@ class HeapKernel {
     std::size_t mp = 0;
     IT cnt = 0;
     IT prev_key = -1;
-    while (!heap_.empty()) {
+    while (!s_->heap.empty()) {
       RowIter min = heap_pop();
       while (mp < mcols.size() && mcols[mp] < min.col) ++mp;
       if (mp >= mcols.size()) break;  // mask exhausted: nothing more to emit
@@ -166,7 +177,7 @@ class HeapKernel {
   template <bool Numeric>
   IT row_complement(IT i, IT* out_cols, VT* out_vals) {
     const auto mcols = m_.row_cols(i);
-    heap_.clear();
+    s_->heap.clear();
     for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
       const IT k = a_.colids[p];
       if (b_.rowptr[k] == b_.rowptr[k + 1]) continue;
@@ -176,7 +187,7 @@ class HeapKernel {
     std::size_t mp = 0;
     IT cnt = 0;
     IT prev_key = -1;
-    while (!heap_.empty()) {
+    while (!s_->heap.empty()) {
       RowIter min = heap_pop();
       while (mp < mcols.size() && mcols[mp] < min.col) ++mp;
       // Emit set difference S \ m: element passes unless the mask has it.
@@ -214,7 +225,15 @@ class HeapKernel {
   const bool complemented_;
   const long n_inspect_;
 
-  std::vector<RowIter> heap_;
+  std::unique_ptr<Scratch> owned_;
+  Scratch* s_ = nullptr;
+
+ public:
+  /// The row-streaming heap, borrowable from an ExecutionContext so its
+  /// warmed-up capacity persists across rows and calls.
+  struct Scratch {
+    std::vector<RowIter> heap;
+  };
 };
 
 }  // namespace msp

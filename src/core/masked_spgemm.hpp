@@ -8,16 +8,26 @@
 //  * two-phase (2P): a symbolic pass computes exact per-row counts, a prefix
 //    sum turns them into row pointers, and the numeric pass writes in place.
 //
-// Parallelization is coarse-grained across rows (paper §3) with dynamic
-// scheduling; each OpenMP thread owns one kernel instance whose scratch
-// space is reused across all rows it processes.
+// Parallelization is coarse-grained across rows (paper §3). The planless
+// path uses dynamic scheduling with a chunk derived from rows/threads; the
+// plan-based path (core/plan.hpp, core/exec_context.hpp) hands the drivers
+// a flops-binned static row partition and, for 2P, cached symbolic row
+// pointers so repeated multiplies skip the symbolic pass entirely. Each
+// thread owns one kernel instance whose scratch space is reused across all
+// rows it processes (and, through ExecutionContext, across calls).
+//
+// The configuration types (MaskedAlgorithm, MaskKind, MaskedSpgemmOptions,
+// MaskedSpgemmStats, ...) live in core/config.hpp.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "core/config.hpp"
 #include "core/flops.hpp"
+#include "core/plan.hpp"
 #include "core/adaptive_kernel.hpp"
 #include "core/hash_accumulator.hpp"
 #include "core/heap_kernel.hpp"
@@ -34,89 +44,6 @@
 
 namespace msp {
 
-/// The algorithm families evaluated in the paper (§8: 6 schemes × 2 phases).
-enum class MaskedAlgorithm {
-  kMsa,      ///< masked sparse accumulator (§5.2)
-  kHash,     ///< hash accumulator (§5.3)
-  kMca,      ///< mask compressed accumulator (§5.4); no complement support
-  kHeap,     ///< heap with NInspect = 1 (§5.5)
-  kHeapDot,  ///< heap with NInspect = ∞ (§5.5)
-  kInner,    ///< pull-based inner product (§4.1)
-  kAdaptive, ///< per-row hybrid of MSA/Hash/Heap (paper §9 future work)
-};
-
-/// One-phase vs two-phase execution (paper §6).
-enum class MaskedPhase {
-  kOnePhase,
-  kTwoPhase,
-};
-
-/// Regular mask (keep M's pattern) vs complemented mask (keep everything
-/// except M's pattern).
-enum class MaskKind {
-  kMask,
-  kComplement,
-};
-
-/// GraphBLAS mask semantics: a *structural* mask admits every stored entry
-/// (the paper's setting — §2: "we only utilize the pattern of the mask");
-/// a *valued* mask additionally requires the stored value to be nonzero,
-/// so explicitly stored zeros do not admit their position.
-enum class MaskSemantics {
-  kStructural,
-  kValued,
-};
-
-/// Execution statistics filled when MaskedSpgemmOptions::stats is set —
-/// the observable data behind the paper's §6 one-phase/two-phase
-/// discussion (phase time split and the quality of the mask-derived
-/// output-size bound).
-struct MaskedSpgemmStats {
-  double symbolic_seconds = 0.0;  ///< 2P only: pattern-counting pass
-  double numeric_seconds = 0.0;   ///< value-producing pass
-  double assemble_seconds = 0.0;  ///< 1P only: compaction into final CSR
-  std::size_t output_nnz = 0;
-  std::size_t bound_nnz = 0;      ///< 1P only: Σ per-row upper bounds
-
-  /// output_nnz / bound_nnz — how tight the paper's nnz(M) bound was
-  /// (1.0 = exact; meaningful for one-phase runs only).
-  [[nodiscard]] double bound_tightness() const {
-    return bound_nnz == 0 ? 1.0
-                          : static_cast<double>(output_nnz) /
-                                static_cast<double>(bound_nnz);
-  }
-};
-
-struct MaskedSpgemmOptions {
-  MaskedAlgorithm algorithm = MaskedAlgorithm::kMsa;
-  MaskedPhase phase = MaskedPhase::kOnePhase;
-  MaskKind mask_kind = MaskKind::kMask;
-  /// OpenMP dynamic-schedule chunk (rows per work unit).
-  int chunk_rows = 64;
-  /// Override the heap kernel's NInspect (paper §5.5): -1 keeps the
-  /// algorithm's default (1 for kHeap, ∞ for kHeapDot); 0/1/... force a
-  /// value. Used by the NInspect ablation benchmark.
-  long heap_n_inspect = -1;
-  /// When non-null, filled with phase timings and bound quality.
-  MaskedSpgemmStats* stats = nullptr;
-  /// Structural (default, as in the paper) or valued mask interpretation.
-  MaskSemantics mask_semantics = MaskSemantics::kStructural;
-};
-
-/// Human-readable scheme name, e.g. "MSA-1P" — the labels of paper Fig. 8.
-inline const char* algorithm_name(MaskedAlgorithm a) {
-  switch (a) {
-    case MaskedAlgorithm::kMsa: return "MSA";
-    case MaskedAlgorithm::kHash: return "Hash";
-    case MaskedAlgorithm::kMca: return "MCA";
-    case MaskedAlgorithm::kHeap: return "Heap";
-    case MaskedAlgorithm::kHeapDot: return "HeapDot";
-    case MaskedAlgorithm::kInner: return "Inner";
-    case MaskedAlgorithm::kAdaptive: return "Adaptive";
-  }
-  return "?";
-}
-
 namespace detail {
 
 template <class IT, class MT>
@@ -130,15 +57,59 @@ void validate_shapes(IT a_rows, IT a_cols, IT b_rows, IT b_cols,
   }
 }
 
+/// Dynamic-schedule chunk for the planless path, derived from rows/threads
+/// (~16 chunks per thread for load balance, clamped to a sane range)
+/// instead of a hard-coded global constant.
+template <class IT>
+int auto_chunk(IT nrows) {
+  const long threads = std::max(1, max_threads());
+  const long chunk = static_cast<long>(nrows) / (threads * 16);
+  return static_cast<int>(std::clamp(chunk, 1L, 4096L));
+}
+
+template <class IT>
+int resolve_chunk(int requested, IT nrows) {
+  return requested > 0 ? requested : auto_chunk(nrows);
+}
+
+/// Row-parallel driver loop. With a partition: static flops-binned
+/// per-thread work lists (zero-flop rows are skipped — their output rows
+/// are provably empty). Without: dynamic chunks over all rows.
+/// `make_kernel(tid)` runs once per participating thread.
+template <class IT, class KernelFactory, class RowFn>
+void for_each_row(IT nrows, int chunk, const RowPartition<IT>* partition,
+                  KernelFactory&& make_kernel, RowFn&& fn) {
+  (void)chunk;  // consumed by the schedule clause; unused in serial builds
+#pragma omp parallel
+  {
+    const int tid = thread_id();
+    auto kernel = make_kernel(tid);
+    if (partition != nullptr) {
+      const int nt = region_threads();
+      for (int l = tid; l < partition->lists(); l += nt) {
+        for (IT i : partition->list(l)) fn(kernel, i);
+      }
+    } else {
+#pragma omp for schedule(dynamic, chunk)
+      for (IT i = 0; i < nrows; ++i) fn(kernel, i);
+    }
+  }
+}
+
 /// One-phase driver: `ub[i]` bounds row i's output size; the temporary is
 /// laid out by the prefix sum of the bounds, computed rows are compacted
-/// into the final CSR with a second prefix sum over actual counts.
+/// into the final CSR with a second prefix sum over actual counts. When
+/// `structure_sink` is set, the exact output row pointers are exported so
+/// a plan can skip future symbolic passes.
 template <class IT, class VT, class KernelFactory>
 CsrMatrix<IT, VT> run_one_phase(IT nrows, IT ncols,
                                 const std::vector<std::size_t>& ub,
                                 KernelFactory make_kernel, int chunk_rows,
-                                MaskedSpgemmStats* stats = nullptr) {
+                                MaskedSpgemmStats* stats = nullptr,
+                                const RowPartition<IT>* partition = nullptr,
+                                std::vector<IT>* structure_sink = nullptr) {
   Timer phase_timer;
+  const int chunk = resolve_chunk(chunk_rows, nrows);
   std::vector<std::size_t> offsets(static_cast<std::size_t>(nrows) + 1, 0);
   for (IT i = 0; i < nrows; ++i) {
     offsets[static_cast<std::size_t>(i) + 1] =
@@ -153,18 +124,13 @@ CsrMatrix<IT, VT> run_one_phase(IT nrows, IT ncols,
   std::unique_ptr<VT[]> tmp_vals(new VT[cap]);
   std::vector<IT> counts(static_cast<std::size_t>(nrows), 0);
 
-#pragma omp parallel
-  {
-    auto kernel = make_kernel();
-#pragma omp for schedule(dynamic, chunk_rows)
-    for (IT i = 0; i < nrows; ++i) {
-      const std::size_t off = offsets[static_cast<std::size_t>(i)];
-      counts[static_cast<std::size_t>(i)] =
-          kernel.numeric_row(i, tmp_cols.get() + off, tmp_vals.get() + off);
-      MSP_ASSERT(static_cast<std::size_t>(counts[i]) <=
-                 ub[static_cast<std::size_t>(i)]);
-    }
-  }
+  for_each_row(nrows, chunk, partition, make_kernel, [&](auto& kernel, IT i) {
+    const std::size_t off = offsets[static_cast<std::size_t>(i)];
+    counts[static_cast<std::size_t>(i)] =
+        kernel.numeric_row(i, tmp_cols.get() + off, tmp_vals.get() + off);
+    MSP_ASSERT(static_cast<std::size_t>(counts[i]) <=
+               ub[static_cast<std::size_t>(i)]);
+  });
   if (stats != nullptr) {
     stats->numeric_seconds = phase_timer.seconds();
     stats->bound_nnz = cap;
@@ -178,7 +144,7 @@ CsrMatrix<IT, VT> run_one_phase(IT nrows, IT ncols,
   out.values.resize(static_cast<std::size_t>(total));
   for (IT i = 0; i < nrows; ++i) out.rowptr[i] = rowptr_counts[i];
   out.rowptr[nrows] = total;
-#pragma omp parallel for schedule(dynamic, 1024)
+#pragma omp parallel for schedule(dynamic, chunk)
   for (IT i = 0; i < nrows; ++i) {
     const std::size_t src = offsets[static_cast<std::size_t>(i)];
     const std::size_t dst = static_cast<std::size_t>(out.rowptr[i]);
@@ -190,50 +156,60 @@ CsrMatrix<IT, VT> run_one_phase(IT nrows, IT ncols,
     stats->assemble_seconds = phase_timer.seconds();
     stats->output_nnz = out.nnz();
   }
+  if (structure_sink != nullptr && structure_sink->empty()) {
+    *structure_sink = out.rowptr;
+  }
   MSP_ASSERT(out.check_structure());
   return out;
 }
 
-/// Two-phase driver: symbolic counts → prefix sum → numeric in place.
+/// Two-phase driver: symbolic counts → prefix sum → numeric in place. With
+/// `cached_rowptr` (from a plan) the symbolic pass is skipped outright; a
+/// freshly computed structure is exported through `structure_sink`.
 template <class IT, class VT, class KernelFactory>
 CsrMatrix<IT, VT> run_two_phase(IT nrows, IT ncols, KernelFactory make_kernel,
                                 int chunk_rows,
-                                MaskedSpgemmStats* stats = nullptr) {
+                                MaskedSpgemmStats* stats = nullptr,
+                                const RowPartition<IT>* partition = nullptr,
+                                const std::vector<IT>* cached_rowptr = nullptr,
+                                std::vector<IT>* structure_sink = nullptr) {
   Timer phase_timer;
-  std::vector<IT> counts(static_cast<std::size_t>(nrows), 0);
-#pragma omp parallel
-  {
-    auto kernel = make_kernel();
-#pragma omp for schedule(dynamic, chunk_rows)
-    for (IT i = 0; i < nrows; ++i) {
-      counts[static_cast<std::size_t>(i)] = kernel.symbolic_row(i);
-    }
-  }
-  if (stats != nullptr) {
-    stats->symbolic_seconds = phase_timer.seconds();
-    phase_timer.reset();
-  }
-  const IT total = exclusive_prefix_sum(counts);
+  const int chunk = resolve_chunk(chunk_rows, nrows);
   CsrMatrix<IT, VT> out(nrows, ncols);
+  if (cached_rowptr != nullptr) {
+    out.rowptr = *cached_rowptr;
+    if (stats != nullptr) {
+      stats->symbolic_seconds = 0.0;
+      stats->symbolic_skipped = true;
+    }
+  } else {
+    std::vector<IT> counts(static_cast<std::size_t>(nrows), 0);
+    for_each_row(nrows, chunk, partition, make_kernel,
+                 [&](auto& kernel, IT i) {
+                   counts[static_cast<std::size_t>(i)] = kernel.symbolic_row(i);
+                 });
+    if (stats != nullptr) stats->symbolic_seconds = phase_timer.seconds();
+    const IT total = exclusive_prefix_sum(counts);
+    for (IT i = 0; i < nrows; ++i) out.rowptr[i] = counts[i];
+    out.rowptr[nrows] = total;
+  }
+  const IT total = out.rowptr[nrows];
   out.colids.resize(static_cast<std::size_t>(total));
   out.values.resize(static_cast<std::size_t>(total));
-  for (IT i = 0; i < nrows; ++i) out.rowptr[i] = counts[i];
-  out.rowptr[nrows] = total;
-#pragma omp parallel
-  {
-    auto kernel = make_kernel();
-#pragma omp for schedule(dynamic, chunk_rows)
-    for (IT i = 0; i < nrows; ++i) {
-      const IT written =
-          kernel.numeric_row(i, out.colids.data() + out.rowptr[i],
-                             out.values.data() + out.rowptr[i]);
-      MSP_ASSERT(written == out.rowptr[i + 1] - out.rowptr[i]);
-      (void)written;
-    }
-  }
+  phase_timer.reset();
+  for_each_row(nrows, chunk, partition, make_kernel, [&](auto& kernel, IT i) {
+    const IT written =
+        kernel.numeric_row(i, out.colids.data() + out.rowptr[i],
+                           out.values.data() + out.rowptr[i]);
+    MSP_ASSERT(written == out.rowptr[i + 1] - out.rowptr[i]);
+    (void)written;
+  });
   if (stats != nullptr) {
     stats->numeric_seconds = phase_timer.seconds();
     stats->output_nnz = out.nnz();
+  }
+  if (structure_sink != nullptr && structure_sink->empty()) {
+    *structure_sink = out.rowptr;
   }
   MSP_ASSERT(out.check_structure());
   return out;
@@ -308,7 +284,7 @@ CsrMatrix<IT, VT> masked_multiply_inner(const CsrMatrix<IT, VT>& a,
     return masked_multiply_inner<SR>(a, b_csc, filtered, structural);
   }
   const bool complemented = opt.mask_kind == MaskKind::kComplement;
-  auto factory = [&] {
+  auto factory = [&](int) {
     return InnerKernel<SR, IT, VT, MT>(a, b_csc, m, complemented);
   };
   if (opt.phase == MaskedPhase::kOnePhase) {
@@ -385,22 +361,26 @@ CsrMatrix<IT, VT> masked_multiply(const CsrMatrix<IT, VT>& a,
 
   switch (opt.algorithm) {
     case MaskedAlgorithm::kMsa: {
-      auto f = [&] { return MsaKernel<SR, IT, VT, MT>(a, b, m, complemented); };
+      auto f = [&](int) {
+        return MsaKernel<SR, IT, VT, MT>(a, b, m, complemented);
+      };
       return detail::run_with_phase<IT, VT>(m.nrows, b.ncols, ub_ptr, f, opt);
     }
     case MaskedAlgorithm::kHash: {
-      auto f = [&] {
+      auto f = [&](int) {
         return HashKernel<SR, IT, VT, MT>(a, b, m, complemented);
       };
       return detail::run_with_phase<IT, VT>(m.nrows, b.ncols, ub_ptr, f, opt);
     }
     case MaskedAlgorithm::kMca: {
-      auto f = [&] { return McaKernel<SR, IT, VT, MT>(a, b, m, complemented); };
+      auto f = [&](int) {
+        return McaKernel<SR, IT, VT, MT>(a, b, m, complemented);
+      };
       return detail::run_with_phase<IT, VT>(m.nrows, b.ncols, ub_ptr, f, opt);
     }
     case MaskedAlgorithm::kHeap: {
       const long inspect = opt.heap_n_inspect >= 0 ? opt.heap_n_inspect : 1;
-      auto f = [&, inspect] {
+      auto f = [&, inspect](int) {
         return HeapKernel<SR, IT, VT, MT>(a, b, m, complemented, inspect);
       };
       return detail::run_with_phase<IT, VT>(m.nrows, b.ncols, ub_ptr, f, opt);
@@ -408,13 +388,13 @@ CsrMatrix<IT, VT> masked_multiply(const CsrMatrix<IT, VT>& a,
     case MaskedAlgorithm::kHeapDot: {
       const long inspect =
           opt.heap_n_inspect >= 0 ? opt.heap_n_inspect : kInspectAll;
-      auto f = [&, inspect] {
+      auto f = [&, inspect](int) {
         return HeapKernel<SR, IT, VT, MT>(a, b, m, complemented, inspect);
       };
       return detail::run_with_phase<IT, VT>(m.nrows, b.ncols, ub_ptr, f, opt);
     }
     case MaskedAlgorithm::kAdaptive: {
-      auto f = [&] {
+      auto f = [&](int) {
         return AdaptiveKernel<SR, IT, VT, MT>(a, b, m, complemented);
       };
       return detail::run_with_phase<IT, VT>(m.nrows, b.ncols, ub_ptr, f, opt);

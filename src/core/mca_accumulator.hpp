@@ -11,6 +11,7 @@
 // betweenness centrality for this reason).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/accumulator.hpp"
@@ -23,13 +24,27 @@ namespace msp {
 template <Semiring SR, class IT, class VT, class MT>
 class McaKernel {
  public:
+  /// Position-indexed accumulator arrays, borrowable from an
+  /// ExecutionContext. Invariant between rows (and therefore between
+  /// calls): every `set` flag below the current size is 0 (ALLOWED).
+  struct Scratch {
+    std::vector<char> set;  // 0 = ALLOWED, 1 = SET (two-state automaton)
+    std::vector<VT> values;
+  };
+
   McaKernel(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
-            const CsrMatrix<IT, MT>& m, bool complemented)
+            const CsrMatrix<IT, MT>& m, bool complemented,
+            Scratch* scratch = nullptr)
       : a_(a), b_(b), m_(m) {
     if (complemented) {
       throw invalid_argument_error(
           "MCA does not support complemented masks");
     }
+    if (scratch == nullptr) {
+      owned_ = std::make_unique<Scratch>();
+      scratch = owned_.get();
+    }
+    s_ = scratch;
   }
 
   IT numeric_row(IT i, IT* out_cols, VT* out_vals) {
@@ -42,9 +57,9 @@ class McaKernel {
   /// Grow the position-indexed arrays; states start (and are always left)
   /// in the ALLOWED state, the gather pass restores the invariant.
   void reserve_row(std::size_t mask_nnz) {
-    if (set_.size() < mask_nnz) {
-      set_.assign(mask_nnz, 0);
-      values_.resize(mask_nnz);
+    if (s_->set.size() < mask_nnz) {
+      s_->set.resize(mask_nnz, 0);
+      s_->values.resize(mask_nnz);
     }
   }
 
@@ -67,28 +82,28 @@ class McaKernel {
         if (q == qe) break;
         if (b_.colids[q] == j) {
           if constexpr (Numeric) {
-            if (set_[idx]) {
-              values_[idx] =
-                  SR::add(values_[idx], SR::multiply(av, b_.values[q]));
+            if (s_->set[idx]) {
+              s_->values[idx] =
+                  SR::add(s_->values[idx], SR::multiply(av, b_.values[q]));
             } else {
-              values_[idx] = SR::multiply(av, b_.values[q]);
-              set_[idx] = 1;
+              s_->values[idx] = SR::multiply(av, b_.values[q]);
+              s_->set[idx] = 1;
             }
           } else {
-            set_[idx] = 1;
+            s_->set[idx] = 1;
           }
         }
       }
     }
     IT cnt = 0;
     for (std::size_t idx = 0; idx < mcols.size(); ++idx) {
-      if (set_[idx]) {
+      if (s_->set[idx]) {
         if constexpr (Numeric) {
           out_cols[cnt] = mcols[idx];
-          out_vals[cnt] = values_[idx];
+          out_vals[cnt] = s_->values[idx];
         }
         ++cnt;
-        set_[idx] = 0;  // restore ALLOWED for the next row
+        s_->set[idx] = 0;  // restore ALLOWED for the next row
       }
     }
     return cnt;
@@ -98,8 +113,8 @@ class McaKernel {
   const CsrMatrix<IT, VT>& b_;
   const CsrMatrix<IT, MT>& m_;
 
-  std::vector<char> set_;  // 0 = ALLOWED, 1 = SET (two-state automaton)
-  std::vector<VT> values_;
+  std::unique_ptr<Scratch> owned_;
+  Scratch* s_ = nullptr;
 };
 
 }  // namespace msp

@@ -12,10 +12,19 @@
 // not-allowed stamp equals the current row epoch, and SET iff its set stamp
 // does. An insertion-order list of SET keys makes the gather proportional to
 // the row's output, not to ncols (the Gustavson trick the paper cites).
+//
+// The kernel's mutable state lives in a `Scratch` that can be borrowed from
+// an ExecutionContext: the O(ncols) dense arrays are then allocated once per
+// thread and reused across every row *and every call*, instead of being
+// reallocated per kernel construction. The between-rows invariants (states
+// all NOTALLOWED; stamps ≤ epoch) are exactly the between-calls invariants,
+// so a borrowed scratch needs no reinitialization beyond size.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include "core/accumulator.hpp"
@@ -28,17 +37,46 @@ namespace msp {
 template <Semiring SR, class IT, class VT, class MT>
 class MsaKernel {
  public:
-  MsaKernel(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
-            const CsrMatrix<IT, MT>& m, bool complemented)
-      : a_(a), b_(b), m_(m), complemented_(complemented) {
-    const std::size_t n = static_cast<std::size_t>(b.ncols);
-    values_.resize(n);
-    if (complemented_) {
-      not_allowed_epoch_.assign(n, 0);
-      set_epoch_.assign(n, 0);
-    } else {
-      states_.assign(n, EntryState::kNotAllowed);
+  struct Scratch {
+    std::vector<VT> values;
+    std::vector<EntryState> states;                 // non-complemented path
+    std::vector<std::uint32_t> not_allowed_epoch;   // complemented path
+    std::vector<std::uint32_t> set_epoch;
+    std::vector<IT> inserted;
+    std::uint32_t epoch = 0;
+
+    /// Grow (never shrink) to serve `ncols` columns, preserving the
+    /// between-rows invariants for whatever portion already existed.
+    void prepare(std::size_t ncols, bool complemented) {
+      if (values.size() < ncols) values.resize(ncols);
+      if (complemented) {
+        if (epoch >= (std::uint32_t{1} << 31)) {
+          // Headroom guard: epoch increments once per row, so reset stamps
+          // well before the counter could wrap mid-call and alias them.
+          std::fill(not_allowed_epoch.begin(), not_allowed_epoch.end(), 0u);
+          std::fill(set_epoch.begin(), set_epoch.end(), 0u);
+          epoch = 0;
+        }
+        if (not_allowed_epoch.size() < ncols) {
+          not_allowed_epoch.resize(ncols, 0);
+          set_epoch.resize(ncols, 0);
+        }
+      } else if (states.size() < ncols) {
+        states.resize(ncols, EntryState::kNotAllowed);
+      }
     }
+  };
+
+  MsaKernel(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+            const CsrMatrix<IT, MT>& m, bool complemented,
+            Scratch* scratch = nullptr)
+      : a_(a), b_(b), m_(m), complemented_(complemented) {
+    if (scratch == nullptr) {
+      owned_ = std::make_unique<Scratch>();
+      scratch = owned_.get();
+    }
+    s_ = scratch;
+    s_->prepare(static_cast<std::size_t>(b.ncols), complemented_);
   }
 
   IT numeric_row(IT i, IT* out_cols, VT* out_vals) {
@@ -54,31 +92,33 @@ class MsaKernel {
   IT numeric_plain(IT i, IT* out_cols, VT* out_vals) {
     const auto mcols = m_.row_cols(i);
     if (mcols.empty()) return 0;
+    auto& states = s_->states;
+    auto& values = s_->values;
     for (IT j : mcols) {
-      states_[static_cast<std::size_t>(j)] = EntryState::kAllowed;
+      states[static_cast<std::size_t>(j)] = EntryState::kAllowed;
     }
     for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
       const IT k = a_.colids[p];
       const VT av = a_.values[p];
       for (IT q = b_.rowptr[k]; q < b_.rowptr[k + 1]; ++q) {
         const std::size_t j = static_cast<std::size_t>(b_.colids[q]);
-        if (states_[j] == EntryState::kSet) {
-          values_[j] = SR::add(values_[j], SR::multiply(av, b_.values[q]));
-        } else if (states_[j] == EntryState::kAllowed) {
-          values_[j] = SR::multiply(av, b_.values[q]);
-          states_[j] = EntryState::kSet;
+        if (states[j] == EntryState::kSet) {
+          values[j] = SR::add(values[j], SR::multiply(av, b_.values[q]));
+        } else if (states[j] == EntryState::kAllowed) {
+          values[j] = SR::multiply(av, b_.values[q]);
+          states[j] = EntryState::kSet;
         }
       }
     }
     IT cnt = 0;
     for (IT j : mcols) {
       const std::size_t js = static_cast<std::size_t>(j);
-      if (states_[js] == EntryState::kSet) {
+      if (states[js] == EntryState::kSet) {
         out_cols[cnt] = j;
-        out_vals[cnt] = values_[js];
+        out_vals[cnt] = values[js];
         ++cnt;
       }
-      states_[js] = EntryState::kNotAllowed;
+      states[js] = EntryState::kNotAllowed;
     }
     return cnt;
   }
@@ -86,47 +126,51 @@ class MsaKernel {
   IT symbolic_plain(IT i) {
     const auto mcols = m_.row_cols(i);
     if (mcols.empty()) return 0;
+    auto& states = s_->states;
     for (IT j : mcols) {
-      states_[static_cast<std::size_t>(j)] = EntryState::kAllowed;
+      states[static_cast<std::size_t>(j)] = EntryState::kAllowed;
     }
     for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
       const IT k = a_.colids[p];
       for (IT q = b_.rowptr[k]; q < b_.rowptr[k + 1]; ++q) {
         const std::size_t j = static_cast<std::size_t>(b_.colids[q]);
-        if (states_[j] == EntryState::kAllowed) states_[j] = EntryState::kSet;
+        if (states[j] == EntryState::kAllowed) states[j] = EntryState::kSet;
       }
     }
     IT cnt = 0;
     for (IT j : mcols) {
       const std::size_t js = static_cast<std::size_t>(j);
-      if (states_[js] == EntryState::kSet) ++cnt;
-      states_[js] = EntryState::kNotAllowed;
+      if (states[js] == EntryState::kSet) ++cnt;
+      states[js] = EntryState::kNotAllowed;
     }
     return cnt;
   }
 
   IT numeric_complement(IT i, IT* out_cols, VT* out_vals) {
     begin_complement_row(i);
+    auto& values = s_->values;
+    auto& set_epoch = s_->set_epoch;
+    const auto epoch = s_->epoch;
     for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
       const IT k = a_.colids[p];
       const VT av = a_.values[p];
       for (IT q = b_.rowptr[k]; q < b_.rowptr[k + 1]; ++q) {
         const std::size_t j = static_cast<std::size_t>(b_.colids[q]);
-        if (not_allowed_epoch_[j] == epoch_) continue;
-        if (set_epoch_[j] == epoch_) {
-          values_[j] = SR::add(values_[j], SR::multiply(av, b_.values[q]));
+        if (s_->not_allowed_epoch[j] == epoch) continue;
+        if (set_epoch[j] == epoch) {
+          values[j] = SR::add(values[j], SR::multiply(av, b_.values[q]));
         } else {
-          set_epoch_[j] = epoch_;
-          values_[j] = SR::multiply(av, b_.values[q]);
-          inserted_.push_back(b_.colids[q]);
+          set_epoch[j] = epoch;
+          values[j] = SR::multiply(av, b_.values[q]);
+          s_->inserted.push_back(b_.colids[q]);
         }
       }
     }
-    std::sort(inserted_.begin(), inserted_.end());
+    std::sort(s_->inserted.begin(), s_->inserted.end());
     IT cnt = 0;
-    for (IT j : inserted_) {
+    for (IT j : s_->inserted) {
       out_cols[cnt] = j;
-      out_vals[cnt] = values_[static_cast<std::size_t>(j)];
+      out_vals[cnt] = values[static_cast<std::size_t>(j)];
       ++cnt;
     }
     return cnt;
@@ -134,15 +178,16 @@ class MsaKernel {
 
   IT symbolic_complement(IT i) {
     begin_complement_row(i);
+    const auto epoch = s_->epoch;
     IT cnt = 0;
     for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
       const IT k = a_.colids[p];
       for (IT q = b_.rowptr[k]; q < b_.rowptr[k + 1]; ++q) {
         const std::size_t j = static_cast<std::size_t>(b_.colids[q]);
-        if (not_allowed_epoch_[j] == epoch_ || set_epoch_[j] == epoch_) {
+        if (s_->not_allowed_epoch[j] == epoch || s_->set_epoch[j] == epoch) {
           continue;
         }
-        set_epoch_[j] = epoch_;
+        s_->set_epoch[j] = epoch;
         ++cnt;
       }
     }
@@ -150,10 +195,10 @@ class MsaKernel {
   }
 
   void begin_complement_row(IT i) {
-    ++epoch_;
-    inserted_.clear();
+    ++s_->epoch;
+    s_->inserted.clear();
     for (IT j : m_.row_cols(i)) {
-      not_allowed_epoch_[static_cast<std::size_t>(j)] = epoch_;
+      s_->not_allowed_epoch[static_cast<std::size_t>(j)] = s_->epoch;
     }
   }
 
@@ -162,12 +207,8 @@ class MsaKernel {
   const CsrMatrix<IT, MT>& m_;
   const bool complemented_;
 
-  std::vector<VT> values_;
-  std::vector<EntryState> states_;             // non-complemented path
-  std::vector<std::uint32_t> not_allowed_epoch_;  // complemented path
-  std::vector<std::uint32_t> set_epoch_;
-  std::vector<IT> inserted_;
-  std::uint32_t epoch_ = 0;
+  std::unique_ptr<Scratch> owned_;
+  Scratch* s_ = nullptr;
 };
 
 }  // namespace msp

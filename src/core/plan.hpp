@@ -1,0 +1,344 @@
+// The planning half of the plan/execute split.
+//
+// A `SpgemmPlan` captures everything about a masked product C = M ⊙ (A·B)
+// that is derivable from the operand *patterns* alone — per-row flops, the
+// one-phase output-size upper bounds, the two-phase symbolic row pointers,
+// a CSC transpose of B for the pull-based kernels, and a flops-binned row
+// partition for load-balanced execution — so that repeated multiplies over
+// unchanged patterns (k-truss/BC iterations, a multi-mask service answering
+// many queries against one A·B) pay for that work once. Plans hold **no
+// references to the operands**: they are keyed by pattern fingerprints and
+// re-bound to (possibly different, pattern-identical) operand objects at
+// every execution, which is what makes mutated-values/same-pattern reuse safe.
+//
+// `core/exec_context.hpp` owns the keyed plan cache and the per-thread
+// kernel scratch that complete the execution half.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/flops.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/ops.hpp"
+#include "util/common.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace msp {
+
+// ---------------------------------------------------------------------------
+// Pattern fingerprints
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+inline std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Order-sensitive hash of an integer range. Blocked so large arrays hash
+/// in parallel; the per-block hashes are combined in order, keeping the
+/// result deterministic and thread-count independent.
+template <class T>
+std::uint64_t hash_range(const T* data, std::size_t n) {
+  constexpr std::size_t kBlock = std::size_t{1} << 20;
+  const std::size_t blocks = n == 0 ? 0 : ceil_div(n, kBlock);
+  std::vector<std::uint64_t> partial(blocks, 0);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t bi = 0; bi < static_cast<std::int64_t>(blocks); ++bi) {
+    const std::size_t begin = static_cast<std::size_t>(bi) * kBlock;
+    const std::size_t end = std::min(n, begin + kBlock);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t p = begin; p < end; ++p) {
+      h = hash_mix(h, static_cast<std::uint64_t>(data[p]));
+    }
+    partial[static_cast<std::size_t>(bi)] = h;
+  }
+  std::uint64_t h = 0x100000001b3ULL;
+  for (std::uint64_t ph : partial) h = hash_mix(h, ph);
+  return h;
+}
+
+}  // namespace detail
+
+/// 64-bit fingerprint of a CSR matrix's *pattern* (shape + rowptr + colids).
+/// With `include_value_zeros` the zero/nonzero status of every stored value
+/// is folded in as well — that is the effective pattern under *valued* mask
+/// semantics, where an explicitly stored zero does not admit its position.
+template <class IT, class VT>
+std::uint64_t pattern_fingerprint(const CsrMatrix<IT, VT>& x,
+                                  bool include_value_zeros = false) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = detail::hash_mix(h, static_cast<std::uint64_t>(x.nrows));
+  h = detail::hash_mix(h, static_cast<std::uint64_t>(x.ncols));
+  h = detail::hash_mix(h, static_cast<std::uint64_t>(x.nnz()));
+  h = detail::hash_mix(h, detail::hash_range(x.rowptr.data(), x.rowptr.size()));
+  h = detail::hash_mix(h, detail::hash_range(x.colids.data(), x.colids.size()));
+  if (include_value_zeros) {
+    std::uint64_t zh = 0x100000001b3ULL;
+    std::uint64_t word = 0;
+    int bits = 0;
+    for (const VT& v : x.values) {
+      word = (word << 1) | (v != VT{} ? 1u : 0u);
+      if (++bits == 64) {
+        zh = detail::hash_mix(zh, word);
+        word = 0;
+        bits = 0;
+      }
+    }
+    if (bits > 0) zh = detail::hash_mix(zh, word);
+    h = detail::hash_mix(h, zh);
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Flops-binned row partition
+// ---------------------------------------------------------------------------
+
+/// Static per-thread work lists replacing the global dynamic-chunk knob.
+/// Rows are bucketed by ⌊log₂ flops⌋ and each bucket is dealt round-robin
+/// across the lists, so every list holds a near-identical mix of heavy and
+/// light rows (within a bucket rows differ by at most 2× in flops). Rows
+/// with zero flops are omitted entirely: their output rows are provably
+/// empty, so executing them would be pure overhead.
+template <class IT>
+struct RowPartition {
+  std::vector<IT> rows;                 ///< concatenated per-list row ids
+  std::vector<std::size_t> list_begin;  ///< size lists()+1
+
+  [[nodiscard]] int lists() const {
+    return list_begin.empty() ? 0 : static_cast<int>(list_begin.size()) - 1;
+  }
+
+  [[nodiscard]] std::span<const IT> list(int l) const {
+    MSP_ASSERT(l >= 0 && l < lists());
+    return {rows.data() + list_begin[static_cast<std::size_t>(l)],
+            list_begin[static_cast<std::size_t>(l) + 1] -
+                list_begin[static_cast<std::size_t>(l)]};
+  }
+};
+
+/// Build a flops-binned partition with `n_lists` work lists.
+template <class IT>
+RowPartition<IT> build_flops_partition(const std::vector<std::int64_t>& flops,
+                                       int n_lists) {
+  n_lists = std::max(1, n_lists);
+  constexpr int kBuckets = 64;  // bucket = bit_width(flops), flops > 0
+  const std::size_t nrows = flops.size();
+
+  std::vector<std::size_t> bucket_count(kBuckets, 0);
+  for (std::size_t i = 0; i < nrows; ++i) {
+    if (flops[i] > 0) {
+      ++bucket_count[static_cast<std::size_t>(
+          std::bit_width(static_cast<std::uint64_t>(flops[i])))];
+    }
+  }
+  // Scatter rows into one array ordered heaviest bucket first.
+  std::vector<std::size_t> bucket_pos(kBuckets, 0);
+  std::size_t total = 0;
+  for (int bkt = kBuckets - 1; bkt >= 0; --bkt) {
+    bucket_pos[static_cast<std::size_t>(bkt)] = total;
+    total += bucket_count[static_cast<std::size_t>(bkt)];
+  }
+  std::vector<IT> ordered(total);
+  for (std::size_t i = 0; i < nrows; ++i) {
+    if (flops[i] > 0) {
+      const auto bkt = static_cast<std::size_t>(
+          std::bit_width(static_cast<std::uint64_t>(flops[i])));
+      ordered[bucket_pos[bkt]++] = static_cast<IT>(i);
+    }
+  }
+
+  // Deal the ordered rows round-robin: position p goes to list p mod n_lists.
+  RowPartition<IT> part;
+  part.rows.resize(total);
+  part.list_begin.assign(static_cast<std::size_t>(n_lists) + 1, 0);
+  const std::size_t base = total / static_cast<std::size_t>(n_lists);
+  const std::size_t extra = total % static_cast<std::size_t>(n_lists);
+  for (int l = 0; l < n_lists; ++l) {
+    part.list_begin[static_cast<std::size_t>(l) + 1] =
+        part.list_begin[static_cast<std::size_t>(l)] + base +
+        (static_cast<std::size_t>(l) < extra ? 1 : 0);
+  }
+  for (std::size_t p = 0; p < total; ++p) {
+    const std::size_t l = p % static_cast<std::size_t>(n_lists);
+    const std::size_t k = p / static_cast<std::size_t>(n_lists);
+    part.rows[part.list_begin[l] + k] = ordered[p];
+  }
+  // With static lists there is no work stealing, so the order *within* a
+  // list is irrelevant for balance — restore ascending row order for the
+  // cache locality of walking A/M rows near-sequentially.
+#pragma omp parallel for schedule(static)
+  for (int l = 0; l < n_lists; ++l) {
+    std::sort(part.rows.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      part.list_begin[static_cast<std::size_t>(l)]),
+              part.rows.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      part.list_begin[static_cast<std::size_t>(l) + 1]));
+  }
+  return part;
+}
+
+// ---------------------------------------------------------------------------
+// SpgemmPlan
+// ---------------------------------------------------------------------------
+
+/// Pattern-derived execution plan for C = M ⊙ (A·B) (or ¬M ⊙ (A·B)) under a
+/// fixed (mask kind, mask semantics). Eagerly captures per-row flops and the
+/// semantics-reduced mask; the remaining artifacts (one-phase bounds,
+/// two-phase symbolic row pointers, B's CSC transpose, the row partition)
+/// are built lazily by whichever execution first needs them and cached for
+/// every later call. The `ensure_*` accessors take the current operands
+/// because the plan stores no references — operands may be different objects
+/// across calls as long as their patterns match the plan's fingerprints.
+template <class IT, class VT, class MT>
+class SpgemmPlan {
+ public:
+  SpgemmPlan(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+             const CsrMatrix<IT, MT>& m, MaskKind kind,
+             MaskSemantics semantics)
+      : nrows_(m.nrows),
+        ncols_(m.ncols),
+        kind_(kind),
+        semantics_(semantics),
+        flops_(row_flops(a, b)) {
+    total_flops_ = 0;
+    for (std::int64_t f : flops_) total_flops_ += f;
+    if (semantics_ == MaskSemantics::kValued) {
+      // Valued semantics reduce to structural semantics on the mask with
+      // its explicit zeros dropped; filtering is plan work, done once.
+      filtered_ = select(m, [](IT, IT, const MT& v) { return v != MT{}; });
+    }
+  }
+
+  [[nodiscard]] IT nrows() const { return nrows_; }
+  [[nodiscard]] IT ncols() const { return ncols_; }
+  [[nodiscard]] MaskKind mask_kind() const { return kind_; }
+  [[nodiscard]] MaskSemantics semantics() const { return semantics_; }
+
+  /// The mask the kernels must see: the caller's mask under structural
+  /// semantics, the plan's zero-filtered copy under valued semantics.
+  [[nodiscard]] const CsrMatrix<IT, MT>& effective_mask(
+      const CsrMatrix<IT, MT>& m) const {
+    return semantics_ == MaskSemantics::kValued ? filtered_ : m;
+  }
+
+  /// Per-row multiply counts of A·B (captured at plan construction).
+  [[nodiscard]] const std::vector<std::int64_t>& flops() const {
+    return flops_;
+  }
+  [[nodiscard]] std::int64_t total_flops() const { return total_flops_; }
+
+  /// One-phase per-row output bounds. With flops in hand the plan's bound
+  /// is min(nnz(M(i,:)), flops(i)) — tighter than the planless nnz(M(i,:))
+  /// — and min(ncols − nnz(M(i,:)), flops(i)) for a complemented mask.
+  const std::vector<std::size_t>& ensure_bounds(const CsrMatrix<IT, MT>& m) {
+    if (bounds_.empty() && nrows_ > 0) {
+      const CsrMatrix<IT, MT>& mm = effective_mask(m);
+      bounds_.resize(static_cast<std::size_t>(nrows_));
+#pragma omp parallel for schedule(static)
+      for (IT i = 0; i < nrows_; ++i) {
+        const auto mask_nnz = static_cast<std::size_t>(mm.row_nnz(i));
+        const auto f =
+            static_cast<std::size_t>(flops_[static_cast<std::size_t>(i)]);
+        const std::size_t allowed =
+            kind_ == MaskKind::kMask
+                ? mask_nnz
+                : static_cast<std::size_t>(ncols_) - mask_nnz;
+        bounds_[static_cast<std::size_t>(i)] = std::min(allowed, f);
+      }
+    }
+    return bounds_;
+  }
+
+  /// Two-phase symbolic structure: the exact output row pointers. Populated
+  /// by the first execution (either phase — a one-phase run's compacted
+  /// rowptr is adopted too) and reused to skip symbolic passes entirely.
+  [[nodiscard]] bool has_structure() const {
+    return !structure_rowptr_.empty();
+  }
+  [[nodiscard]] const std::vector<IT>& structure_rowptr() const {
+    MSP_ASSERT(has_structure());
+    return structure_rowptr_;
+  }
+  void adopt_structure(const std::vector<IT>& rowptr) {
+    MSP_ASSERT(rowptr.size() == static_cast<std::size_t>(nrows_) + 1);
+    if (structure_rowptr_.empty()) structure_rowptr_ = rowptr;
+  }
+  /// Sink handed to the drivers: they fill it with the output row pointers
+  /// if (and only if) it is still empty, which is exactly adopt_structure.
+  std::vector<IT>* structure_sink() { return &structure_rowptr_; }
+
+  /// CSC transpose of B for the pull-based Inner kernel. The pattern and
+  /// the CSR→CSC entry permutation are built once; values are re-gathered
+  /// from the *current* B on every call so that same-pattern value updates
+  /// flow through (a stale-value cache would silently poison results).
+  const CscMatrix<IT, VT>& ensure_b_csc(const CsrMatrix<IT, VT>& b) {
+    if (!csc_built_) {
+      csc_built_ = true;
+      const std::size_t nnz = b.nnz();
+      std::vector<IT> colptr(static_cast<std::size_t>(b.ncols) + 1, 0);
+      std::vector<IT> rowids(nnz);
+      csc_perm_.resize(nnz);
+      std::vector<IT> next(static_cast<std::size_t>(b.ncols), 0);
+      for (std::size_t p = 0; p < nnz; ++p) {
+        ++next[static_cast<std::size_t>(b.colids[p])];
+      }
+      exclusive_prefix_sum(next);
+      for (IT j = 0; j < b.ncols; ++j) {
+        colptr[static_cast<std::size_t>(j)] = next[static_cast<std::size_t>(j)];
+      }
+      colptr[static_cast<std::size_t>(b.ncols)] = static_cast<IT>(nnz);
+      for (IT i = 0; i < b.nrows; ++i) {
+        for (IT p = b.rowptr[i]; p < b.rowptr[i + 1]; ++p) {
+          const auto pos = static_cast<std::size_t>(
+              next[static_cast<std::size_t>(b.colids[p])]++);
+          rowids[pos] = i;
+          csc_perm_[pos] = p;
+        }
+      }
+      b_csc_ = CscMatrix<IT, VT>(b.nrows, b.ncols, std::move(colptr),
+                                 std::move(rowids), std::vector<VT>(nnz));
+    }
+    for (std::size_t pos = 0; pos < csc_perm_.size(); ++pos) {
+      b_csc_.values[pos] = b.values[static_cast<std::size_t>(csc_perm_[pos])];
+    }
+    return b_csc_;
+  }
+
+  /// The flops-binned row partition, built for `n_lists` work lists
+  /// (typically the thread count) and rebuilt if that changes.
+  const RowPartition<IT>& ensure_partition(int n_lists) {
+    if (partition_.lists() != std::max(1, n_lists)) {
+      partition_ = build_flops_partition<IT>(flops_, n_lists);
+    }
+    return partition_;
+  }
+
+ private:
+  IT nrows_;
+  IT ncols_;
+  MaskKind kind_;
+  MaskSemantics semantics_;
+
+  CsrMatrix<IT, MT> filtered_;  // valued semantics only
+  std::vector<std::int64_t> flops_;
+  std::int64_t total_flops_ = 0;
+
+  std::vector<std::size_t> bounds_;     // lazy, 1P
+  std::vector<IT> structure_rowptr_;    // lazy, 2P (or adopted from 1P)
+  CscMatrix<IT, VT> b_csc_;             // lazy, Inner
+  std::vector<IT> csc_perm_;            // CSR entry → CSC position
+  bool csc_built_ = false;
+  RowPartition<IT> partition_;          // lazy
+};
+
+}  // namespace msp

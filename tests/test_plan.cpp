@@ -1,0 +1,381 @@
+// Tests for the plan/execute subsystem (core/plan.hpp,
+// core/exec_context.hpp): plan-based execution must be bit-exact with the
+// planless path for every Scheme × mask kind × mask semantics over the
+// conformance corpora, including plan *reuse* (second call on unchanged
+// patterns), mutated-values/same-pattern reuse, and cache invalidation
+// when a pattern actually changes. Plus unit tests for the flops-binned
+// row partition, pattern fingerprints, and the plan-aware applications.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "apps/bc.hpp"
+#include "apps/ktruss.hpp"
+#include "apps/tricount.hpp"
+#include "conformance/conformance_support.hpp"
+#include "core/exec_context.hpp"
+#include "core/plan.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace msp;
+using msp::conformance::Config;
+using msp::conformance::all_configs;
+using msp::conformance::corpus;
+using msp::conformance::run_config;
+using msp::testing::csr_equal;
+using msp::testing::random_csr;
+
+using SR = PlusTimes<double>;
+
+// ---------------------------------------------------------------------------
+// Plan-based execution is bit-exact with planless execution, including on
+// reuse, for every configuration of the conformance sweep.
+// ---------------------------------------------------------------------------
+
+template <class IT>
+void sweep_plan_vs_planless() {
+  ExecutionContext ctx;
+  for (const auto& cse : corpus<IT>()) {
+    for (const Config& cfg : all_configs()) {
+      SCOPED_TRACE(cse.name + "/" + cfg.name());
+      const auto expected =
+          run_config<SR, IT, double>(cfg, cse.a, cse.b, cse.m);
+      const auto first = run_scheme<SR>(cfg.scheme, cse.a, cse.b, cse.m, ctx,
+                                        cfg.kind, nullptr, cfg.semantics);
+      EXPECT_TRUE(csr_equal(expected, first));
+      // Second call: the plan (and, for 2P schemes, the symbolic
+      // structure) comes from the cache; results must not change.
+      const auto reused = run_scheme<SR>(cfg.scheme, cse.a, cse.b, cse.m,
+                                         ctx, cfg.kind, nullptr,
+                                         cfg.semantics);
+      EXPECT_TRUE(csr_equal(expected, reused));
+    }
+  }
+  EXPECT_GT(ctx.cache_stats().plan_hits, 0u);
+}
+
+TEST(PlanConformance, MatchesPlanlessOnFullCorpusInt32) {
+  sweep_plan_vs_planless<int>();
+}
+
+TEST(PlanConformance, MatchesPlanlessOnFullCorpusInt64) {
+  sweep_plan_vs_planless<std::int64_t>();
+}
+
+// ---------------------------------------------------------------------------
+// Reuse semantics
+// ---------------------------------------------------------------------------
+
+TEST(PlanReuse, MutatedValuesSamePatternSeesFreshValues) {
+  auto a = random_csr<int, double>(40, 40, 0.2, 101);
+  auto b = random_csr<int, double>(40, 40, 0.2, 102);
+  const auto m = random_csr<int, double>(40, 40, 0.3, 103);
+  ExecutionContext ctx;
+
+  for (Scheme s : {Scheme::kMsa1P, Scheme::kMsa2P, Scheme::kHash2P,
+                   Scheme::kInner1P, Scheme::kInner2P}) {
+    SCOPED_TRACE(scheme_name(s));
+    (void)run_scheme<SR>(s, a, b, m, ctx);  // warm the plan cache
+
+    // Mutate values only: the pattern (rowptr/colids) is untouched, so the
+    // cached plan must be reused AND the new values must flow through —
+    // notably through the plan's cached transpose for the Inner schemes.
+    for (auto& v : a.values) v += 1.0;
+    for (auto& v : b.values) v += 2.0;
+
+    MaskedSpgemmStats stats;
+    const auto planned = run_scheme<SR>(s, a, b, m, ctx, MaskKind::kMask,
+                                        &stats);
+    const auto planless = run_scheme<SR>(s, a, b, m);
+    EXPECT_TRUE(csr_equal(planless, planned));
+    EXPECT_TRUE(stats.plan_cache_hit);
+  }
+}
+
+TEST(PlanReuse, SecondCallSkipsSymbolicPhase) {
+  const auto a = random_csr<int, double>(50, 50, 0.15, 111);
+  const auto b = random_csr<int, double>(50, 50, 0.15, 112);
+  const auto m = random_csr<int, double>(50, 50, 0.25, 113);
+  ExecutionContext ctx;
+  MaskedSpgemmOptions opt;
+  opt.phase = MaskedPhase::kTwoPhase;
+
+  MaskedSpgemmStats first;
+  opt.stats = &first;
+  (void)ctx.multiply<SR>(a, b, m, opt);
+  EXPECT_FALSE(first.plan_cache_hit);
+  EXPECT_FALSE(first.symbolic_skipped);
+
+  MaskedSpgemmStats second;
+  opt.stats = &second;
+  (void)ctx.multiply<SR>(a, b, m, opt);
+  EXPECT_TRUE(second.plan_cache_hit);
+  EXPECT_TRUE(second.symbolic_skipped);
+  EXPECT_DOUBLE_EQ(second.symbolic_seconds, 0.0);
+}
+
+TEST(PlanReuse, OnePhaseRunSeedsTwoPhaseStructure) {
+  const auto a = random_csr<int, double>(50, 50, 0.15, 121);
+  const auto b = random_csr<int, double>(50, 50, 0.15, 122);
+  const auto m = random_csr<int, double>(50, 50, 0.25, 123);
+  ExecutionContext ctx;
+  MaskedSpgemmOptions opt;
+
+  // A one-phase run's compacted row pointers ARE the symbolic structure;
+  // the plan adopts them, so the first-ever 2P call already skips
+  // symbolic work.
+  opt.phase = MaskedPhase::kOnePhase;
+  const auto c1 = ctx.multiply<SR>(a, b, m, opt);
+
+  MaskedSpgemmStats stats;
+  opt.phase = MaskedPhase::kTwoPhase;
+  opt.stats = &stats;
+  const auto c2 = ctx.multiply<SR>(a, b, m, opt);
+  EXPECT_TRUE(stats.symbolic_skipped);
+  EXPECT_TRUE(csr_equal(c1, c2));
+}
+
+TEST(PlanReuse, CrossSchemeSharing) {
+  const auto a = random_csr<int, double>(30, 30, 0.2, 131);
+  const auto b = random_csr<int, double>(30, 30, 0.2, 132);
+  const auto m = random_csr<int, double>(30, 30, 0.3, 133);
+  ExecutionContext ctx;
+  // All algorithms share one plan per (patterns, kind, semantics) key.
+  (void)run_scheme<SR>(Scheme::kMsa1P, a, b, m, ctx);
+  (void)run_scheme<SR>(Scheme::kHash2P, a, b, m, ctx);
+  (void)run_scheme<SR>(Scheme::kHeap1P, a, b, m, ctx);
+  EXPECT_EQ(ctx.plan_count(), 1u);
+  EXPECT_EQ(ctx.cache_stats().plan_misses, 1u);
+  EXPECT_EQ(ctx.cache_stats().plan_hits, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Cache invalidation
+// ---------------------------------------------------------------------------
+
+TEST(PlanInvalidation, PatternChangeMissesAndRecomputes) {
+  const auto a = random_csr<int, double>(40, 40, 0.2, 141);
+  const auto b = random_csr<int, double>(40, 40, 0.2, 142);
+  auto m = random_csr<int, double>(40, 40, 0.3, 143);
+  ASSERT_GT(m.nnz(), 0u);
+  ExecutionContext ctx;
+
+  (void)ctx.multiply<SR>(a, b, m, {});
+  EXPECT_EQ(ctx.cache_stats().plan_misses, 1u);
+
+  // Drop one stored entry: same shape, different pattern → new plan.
+  const int victim_col = m.colids[0];
+  const auto shrunk = select(
+      m, [victim_col](int i, int j, const double&) {
+        return !(i == 0 && j == victim_col);
+      });
+  ASSERT_EQ(shrunk.nnz(), m.nnz() - 1);
+  MaskedSpgemmStats stats;
+  MaskedSpgemmOptions opt;
+  opt.stats = &stats;
+  const auto planned = ctx.multiply<SR>(a, b, shrunk, opt);
+  EXPECT_FALSE(stats.plan_cache_hit);
+  EXPECT_EQ(ctx.cache_stats().plan_misses, 2u);
+  EXPECT_TRUE(csr_equal(masked_multiply<SR>(a, b, shrunk), planned));
+}
+
+TEST(PlanInvalidation, ValuedSemanticsSeeValueZeroing) {
+  const auto a = random_csr<int, double>(30, 30, 0.25, 151);
+  const auto b = random_csr<int, double>(30, 30, 0.25, 152);
+  auto m = random_csr<int, double>(30, 30, 0.4, 153);
+  ASSERT_GT(m.nnz(), 0u);
+  ExecutionContext ctx;
+  MaskedSpgemmOptions opt;
+  opt.mask_semantics = MaskSemantics::kValued;
+
+  (void)ctx.multiply<SR>(a, b, m, opt);
+
+  // Zero a stored mask value: the stored pattern is unchanged but the
+  // *effective* pattern under valued semantics is not — the fingerprint
+  // must catch it and the result must match planless execution.
+  m.values[m.nnz() / 2] = 0.0;
+  MaskedSpgemmStats stats;
+  opt.stats = &stats;
+  const auto planned = ctx.multiply<SR>(a, b, m, opt);
+  opt.stats = nullptr;
+  EXPECT_FALSE(stats.plan_cache_hit);
+  EXPECT_TRUE(csr_equal(masked_multiply<SR>(a, b, m, opt), planned));
+
+  // Under *structural* semantics the same mutation is invisible: hit.
+  MaskedSpgemmOptions structural;
+  (void)ctx.multiply<SR>(a, b, m, structural);
+  MaskedSpgemmStats sstats;
+  structural.stats = &sstats;
+  m.values[0] = 0.0;
+  (void)ctx.multiply<SR>(a, b, m, structural);
+  EXPECT_TRUE(sstats.plan_cache_hit);
+}
+
+TEST(PlanInvalidation, FifoEvictionBoundsTheCache) {
+  const auto a = random_csr<int, double>(20, 20, 0.2, 161);
+  const auto b = random_csr<int, double>(20, 20, 0.2, 162);
+  ExecutionContext ctx(/*max_plans=*/2);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto m = random_csr<int, double>(20, 20, 0.3, 170 + seed);
+    (void)ctx.multiply<SR>(a, b, m, {});
+  }
+  EXPECT_LE(ctx.plan_count(), 2u);
+  EXPECT_EQ(ctx.cache_stats().plan_evictions, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Flops-binned row partition
+// ---------------------------------------------------------------------------
+
+TEST(RowPartition, CoversEveryNonzeroFlopsRowExactlyOnce) {
+  for (int lists : {1, 2, 3, 7, 16}) {
+    const std::vector<std::int64_t> flops = {0,  5, 1000, 3, 0,  77, 2,
+                                             19, 0, 1,    8, 64, 512};
+    const auto part = build_flops_partition<int>(flops, lists);
+    EXPECT_EQ(part.lists(), lists);
+    std::vector<int> seen(flops.size(), 0);
+    for (int l = 0; l < part.lists(); ++l) {
+      for (int r : part.list(l)) ++seen[static_cast<std::size_t>(r)];
+    }
+    for (std::size_t i = 0; i < flops.size(); ++i) {
+      EXPECT_EQ(seen[i], flops[i] > 0 ? 1 : 0) << "row " << i;
+    }
+  }
+}
+
+TEST(RowPartition, BalancesSkewedFlops) {
+  // Heavily skewed (RMAT-like) distribution: a handful of hub rows, a long
+  // light tail. Round-robin dealing within log2 bins must spread the hubs.
+  std::vector<std::int64_t> flops(1000);
+  for (std::size_t i = 0; i < flops.size(); ++i) {
+    flops[i] = static_cast<std::int64_t>(i % 97) + 1;
+  }
+  for (std::size_t i = 0; i < 8; ++i) flops[i * 100] = 1 << 20;
+  const int lists = 4;
+  const auto part = build_flops_partition<int>(flops, lists);
+  std::vector<std::int64_t> load(static_cast<std::size_t>(lists), 0);
+  for (int l = 0; l < lists; ++l) {
+    for (int r : part.list(l)) load[static_cast<std::size_t>(l)] += flops[r];
+  }
+  const std::int64_t maxload = *std::max_element(load.begin(), load.end());
+  const std::int64_t minload = *std::min_element(load.begin(), load.end());
+  // 8 hubs over 4 lists → 2 per list; the tail is near-uniform. Allow 2×.
+  EXPECT_LE(maxload, 2 * minload);
+}
+
+TEST(RowPartition, EmptyAndAllZeroFlops) {
+  EXPECT_EQ(build_flops_partition<int>({}, 4).rows.size(), 0u);
+  const auto part = build_flops_partition<int>({0, 0, 0}, 4);
+  EXPECT_EQ(part.rows.size(), 0u);
+  EXPECT_EQ(part.lists(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Pattern fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(PatternFingerprint, InsensitiveToValuesSensitiveToPattern) {
+  auto m = random_csr<int, double>(30, 30, 0.3, 181);
+  ASSERT_GT(m.nnz(), 1u);
+  const auto base = pattern_fingerprint(m);
+  auto mutated = m;
+  for (auto& v : mutated.values) v *= 3.0;
+  EXPECT_EQ(pattern_fingerprint(mutated), base);
+
+  const auto shrunk =
+      select(m, [](int, int j, const double&) { return j != 0; });
+  if (shrunk.nnz() != m.nnz()) {
+    EXPECT_NE(pattern_fingerprint(shrunk), base);
+  }
+
+  // Valued fingerprints additionally see value zeroing.
+  const auto valued_base = pattern_fingerprint(m, /*include_value_zeros=*/true);
+  auto zeroed = m;
+  zeroed.values[0] = 0.0;
+  EXPECT_NE(pattern_fingerprint(zeroed, true), valued_base);
+  EXPECT_EQ(pattern_fingerprint(zeroed, false), base);
+}
+
+// ---------------------------------------------------------------------------
+// Plan-aware applications
+// ---------------------------------------------------------------------------
+
+TEST(PlanApps, KtrussMatchesPlanlessAndAmortizes) {
+  // ktruss requires a symmetric simple adjacency (its planless path builds
+  // B's CSC as a view of the CSR arrays, valid only under symmetry).
+  const auto g =
+      remove_diagonal(symmetrize(erdos_renyi<int, double>(120, 8.0, 191)));
+  for (Scheme s : {Scheme::kMsa1P, Scheme::kHash2P, Scheme::kInner2P}) {
+    SCOPED_TRACE(scheme_name(s));
+    const auto planless = ktruss(g, 5, s);
+    ExecutionContext ctx;
+    const auto first = ktruss(g, 5, s, 1000, &ctx);
+    EXPECT_TRUE(csr_equal(planless.truss, first.truss));
+    EXPECT_EQ(planless.iterations, first.iterations);
+    EXPECT_EQ(planless.flops, first.flops);
+    // A repeated run over the same graph hits the cache on every iteration
+    // and skips every symbolic pass (2P) from the adopted structures.
+    const auto second = ktruss(g, 5, s, 1000, &ctx);
+    EXPECT_TRUE(csr_equal(planless.truss, second.truss));
+    EXPECT_EQ(second.plan_stats.plan_hits, second.plan_stats.calls);
+    EXPECT_DOUBLE_EQ(second.plan_stats.symbolic_seconds, 0.0);
+  }
+}
+
+TEST(PlanApps, TricountMatchesPlanless) {
+  const auto g =
+      remove_diagonal(symmetrize(erdos_renyi<int, double>(150, 10.0, 201)));
+  const auto input = tricount_prepare(g);
+  for (Scheme s :
+       {Scheme::kMsa1P, Scheme::kMca2P, Scheme::kInner1P, Scheme::kSsDot}) {
+    SCOPED_TRACE(scheme_name(s));
+    const auto planless = triangle_count(input, s);
+    ExecutionContext ctx;
+    const auto r1 = triangle_count(input, s, &ctx);
+    const auto r2 = triangle_count(input, s, &ctx);
+    EXPECT_EQ(planless.triangles, r1.triangles);
+    EXPECT_EQ(planless.triangles, r2.triangles);
+  }
+}
+
+TEST(PlanApps, BetweennessCentralityMatchesPlanless) {
+  const auto g =
+      remove_diagonal(symmetrize(erdos_renyi<int, double>(100, 6.0, 211)));
+  const std::vector<int> sources = {0, 3, 17, 42};
+  for (Scheme s : {Scheme::kMsa1P, Scheme::kHash2P}) {
+    SCOPED_TRACE(scheme_name(s));
+    const auto planless = betweenness_centrality(g, sources, s);
+    ExecutionContext ctx;
+    const auto first = betweenness_centrality(g, sources, s, &ctx);
+    const auto second = betweenness_centrality(g, sources, s, &ctx);
+    ASSERT_EQ(planless.centrality.size(), first.centrality.size());
+    for (std::size_t v = 0; v < planless.centrality.size(); ++v) {
+      EXPECT_DOUBLE_EQ(planless.centrality[v], first.centrality[v]) << v;
+      EXPECT_DOUBLE_EQ(planless.centrality[v], second.centrality[v]) << v;
+    }
+    EXPECT_EQ(planless.depth, first.depth);
+    // BC's frontier patterns are deterministic → full reuse on the rerun.
+    EXPECT_EQ(second.plan_stats.plan_hits, second.plan_stats.calls);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Planless chunk derivation (the fixed knob)
+// ---------------------------------------------------------------------------
+
+TEST(AutoChunk, DerivedChunkIsSane) {
+  EXPECT_GE(detail::auto_chunk<int>(0), 1);
+  EXPECT_GE(detail::auto_chunk<int>(1), 1);
+  EXPECT_LE(detail::auto_chunk<int>(1 << 30), 4096);
+  // Explicit chunk requests are honored verbatim.
+  EXPECT_EQ(detail::resolve_chunk<int>(64, 1 << 20), 64);
+  EXPECT_EQ(detail::resolve_chunk<int>(0, 1 << 20),
+            detail::auto_chunk<int>(1 << 20));
+}
+
+}  // namespace
