@@ -9,6 +9,9 @@
 # Sized for CI smoke runs by default; scale up with the usual env knobs:
 #   MSP_SCALE_MIN / MSP_SCALE_MAX   fig10 R-MAT scale range (default 8..10)
 #   MSP_REPS                        repetitions per measurement (default 3)
+#   MSP_MULTIMASK_SCALE / MSP_BATCH multimask batch bench R-MAT scale and
+#                                   batch size (default 10 / 8; acceptance
+#                                   runs use MSP_MULTIMASK_SCALE=17)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -17,21 +20,28 @@ OUT=${MSP_BASELINE_OUT:-BENCH_baseline.json}
 export MSP_SCALE_MIN=${MSP_SCALE_MIN:-8}
 export MSP_SCALE_MAX=${MSP_SCALE_MAX:-10}
 export MSP_REPS=${MSP_REPS:-3}
+MSP_MULTIMASK_SCALE=${MSP_MULTIMASK_SCALE:-10}
+MSP_BATCH=${MSP_BATCH:-8}
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DMSPGEMM_BUILD_BENCH=ON \
   -DMSPGEMM_BUILD_TESTS=OFF >/dev/null
-cmake --build "$BUILD_DIR" -j --target bench_fig10_tricount_scale >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_fig10_tricount_scale \
+  --target bench_multimask_batch >/dev/null
 # Best-effort: the micro benchmark target only exists when Google Benchmark
 # is installed; the baseline degrades gracefully without it.
 cmake --build "$BUILD_DIR" -j --target bench_micro_accumulators \
   >/dev/null 2>&1 || true
 
 FIG10_TXT=$(mktemp)
-trap 'rm -f "$FIG10_TXT"' EXIT
+MULTIMASK_TXT=$(mktemp)
+trap 'rm -f "$FIG10_TXT" "$MULTIMASK_TXT"' EXIT
 echo "running bench_fig10_tricount_scale (scales $MSP_SCALE_MIN..$MSP_SCALE_MAX, $MSP_REPS reps)" >&2
 "$BUILD_DIR/bench/bench_fig10_tricount_scale" > "$FIG10_TXT"
+echo "running bench_multimask_batch (scale $MSP_MULTIMASK_SCALE, batch $MSP_BATCH, $MSP_REPS reps)" >&2
+MSP_SCALE=$MSP_MULTIMASK_SCALE MSP_BATCH=$MSP_BATCH \
+  "$BUILD_DIR/bench/bench_multimask_batch" > "$MULTIMASK_TXT"
 
 # Turn the fig10 table (header row of scheme names, one row per scale,
 # GFLOPS cells) into a JSON array of {scale, gflops:{scheme: value}}.
@@ -47,6 +57,20 @@ fig10_json() {
       sep = ",\n      "
     }
   ' "$FIG10_TXT"
+}
+
+# Turn the multimask table (one row per scheme: batch/sequential seconds,
+# speedup, warm-batch seconds, bit-identical flag) into a JSON array.
+multimask_json() {
+  awk '
+    /^#/ { next }
+    $1 == "scheme" { next }
+    {
+      printf "%s{\"scheme\": \"%s\", \"batch_s\": %s, \"seq_cold_s\": %s, \"speedup\": %s, \"warm_s\": %s, \"identical\": %s}", \
+        sep, $1, $2, $3, $4, $5, ($6 == 1 ? "true" : "false")
+      sep = ",\n      "
+    }
+  ' "$MULTIMASK_TXT"
 }
 
 MICRO_JSON="null"
@@ -78,6 +102,10 @@ DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
   printf '  "fig10_tricount_scale": [\n      '
   fig10_json
   printf '\n  ],\n'
+  printf '  "multimask_batch": {"scale": %s, "batch": %s, "results": [\n      ' \
+    "$MSP_MULTIMASK_SCALE" "$MSP_BATCH"
+  multimask_json
+  printf '\n  ]},\n'
   printf '  "micro_accumulators": %s\n' "$MICRO_JSON"
   printf '}\n'
 } > "$OUT"

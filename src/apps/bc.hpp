@@ -163,6 +163,39 @@ BcResult<IT> betweenness_centrality(const CsrMatrix<IT, VT>& adj,
   return result;
 }
 
+/// One BC/BFS forward step under N per-query constraint masks: for every
+/// mask Vq, next_q = ¬Vq ⊙ (F·A) — exactly the forward line of
+/// betweenness_centrality, but answered for many visited/blocked sets at
+/// once (a service running personalized expansions from one shared
+/// frontier, each query with its own forbidden vertices). With a non-null
+/// `ctx` the batch runs through ExecutionContext::multiply_batch — F and A
+/// are fingerprinted once and one global partition load-balances all
+/// queries; otherwise the masks are processed sequentially. Masks must be
+/// frontier.nrows × adj.ncols, like the visited matrix in BC's forward
+/// stage. Bit-identical to N sequential expansions.
+template <class IT, class VT>
+std::vector<CsrMatrix<IT, VT>> frontier_expansion_batch(
+    const CsrMatrix<IT, VT>& frontier, const CsrMatrix<IT, VT>& adj,
+    const std::vector<const CsrMatrix<IT, VT>*>& visited_masks,
+    Scheme scheme = Scheme::kMsa1P, ExecutionContext* ctx = nullptr) {
+  if (!scheme_supports_complement(scheme)) {
+    throw invalid_argument_error(
+        "frontier_expansion_batch: scheme lacks complemented-mask support");
+  }
+  if (ctx != nullptr) {
+    return run_scheme_batch<PlusTimes<VT>>(scheme, frontier, adj,
+                                           visited_masks, *ctx,
+                                           MaskKind::kComplement);
+  }
+  std::vector<CsrMatrix<IT, VT>> outs;
+  outs.reserve(visited_masks.size());
+  for (const CsrMatrix<IT, VT>* v : visited_masks) {
+    outs.push_back(run_scheme<PlusTimes<VT>>(scheme, frontier, adj, *v,
+                                             MaskKind::kComplement));
+  }
+  return outs;
+}
+
 /// Batch over the first min(batch_size, n) vertices — the benchmark setup
 /// (paper uses batches of 512 sources).
 template <class IT, class VT>

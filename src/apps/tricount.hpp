@@ -78,6 +78,36 @@ TricountResult<IT> triangle_count(const CsrMatrix<IT, VT>& adj,
   return triangle_count(tricount_prepare(adj), scheme, ctx);
 }
 
+/// Multi-mask triangle support: for each query mask Mq (nrows×nrows, like
+/// L), sum(Mq ⊙ (L·L)) counts the wedges of L closed inside Mq's edge set —
+/// the per-subgraph/per-query flavour of triangle counting a multi-mask
+/// service answers against one prepared graph. With a non-null `ctx` the
+/// whole batch runs through ExecutionContext::multiply_batch: L is
+/// fingerprinted once, the flops vector and (for Inner) L's transpose are
+/// shared across all query plans, and one global flops-binned partition
+/// load-balances the batch. Bit-identical to counting each mask separately.
+template <class IT, class VT>
+std::vector<std::int64_t> triangle_support_batch(
+    const TricountInput<IT, VT>& input,
+    const std::vector<const CsrMatrix<IT, VT>*>& masks,
+    Scheme scheme = Scheme::kMsa1P, ExecutionContext* ctx = nullptr) {
+  std::vector<std::int64_t> support;
+  support.reserve(masks.size());
+  if (ctx != nullptr) {
+    const auto cs = run_scheme_batch<PlusPair<VT>>(scheme, input.l, input.l,
+                                                   masks, *ctx);
+    for (const auto& c : cs) {
+      support.push_back(static_cast<std::int64_t>(reduce_sum(c)));
+    }
+    return support;
+  }
+  for (const CsrMatrix<IT, VT>* m : masks) {
+    const auto c = run_scheme<PlusPair<VT>>(scheme, input.l, input.l, *m);
+    support.push_back(static_cast<std::int64_t>(reduce_sum(c)));
+  }
+  return support;
+}
+
 /// The masked-SpGEMM triangle-counting formulations compared by Davis
 /// (HPEC'18, the paper's reference [15]). All compute the same count; they
 /// differ in which triangular part drives the multiplication and therefore

@@ -163,13 +163,40 @@ CsrMatrix<IT, VT> run_scheme(Scheme s, const CsrMatrix<IT, VT>& a,
   // (ktruss reads total_flops) even though they execute planless.
   if (stats != nullptr) stats->total_flops = total_flops(a, b);
   if (semantics == MaskSemantics::kValued) {
-    const CsrMatrix<IT, MT> held =
-        select(m, [](IT, IT, const MT& v) { return v != MT{}; });
+    const CsrMatrix<IT, MT> held = drop_explicit_zeros(m);
     return s == Scheme::kSsDot ? baseline_dot<SR>(a, b, held, kind)
                                : baseline_saxpy<SR>(a, b, held, kind);
   }
   if (s == Scheme::kSsDot) return baseline_dot<SR>(a, b, m, kind);
   return baseline_saxpy<SR>(a, b, m, kind);
+}
+
+/// Batched counterpart of the context overload of run_scheme: N masks
+/// against one A·B. The twelve paper schemes go through
+/// ExecutionContext::multiply_batch (shared fingerprints/flops/transpose,
+/// one global partition); the SS-style baselines have no plan concept and
+/// simply loop. Results are bit-identical to N sequential run_scheme calls.
+template <Semiring SR, class IT, class VT, class MT>
+std::vector<CsrMatrix<IT, VT>> run_scheme_batch(
+    Scheme s, const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+    const std::vector<const CsrMatrix<IT, MT>*>& masks,
+    ExecutionContext& ctx, MaskKind kind = MaskKind::kMask,
+    MaskedSpgemmStats* stats = nullptr,
+    MaskSemantics semantics = MaskSemantics::kStructural) {
+  MaskedSpgemmOptions opt;
+  opt.mask_kind = kind;
+  opt.stats = stats;
+  opt.mask_semantics = semantics;
+  if (scheme_to_options(s, opt)) {
+    return ctx.multiply_batch<SR>(a, b, masks, opt);
+  }
+  std::vector<CsrMatrix<IT, VT>> outs;
+  outs.reserve(masks.size());
+  for (const CsrMatrix<IT, MT>* m : masks) {
+    outs.push_back(
+        run_scheme<SR>(s, a, b, *m, ctx, kind, stats, semantics));
+  }
+  return outs;
 }
 
 /// Like run_scheme, but with a pre-transposed copy of B for the pull-based

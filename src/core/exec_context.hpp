@@ -10,15 +10,23 @@
 //  * per-thread kernel scratch, type-erased and reused across calls: the
 //    MSA kernel's O(ncols) dense arrays, the hash kernel's warmed-up slot
 //    table, the heap and MCA arrays — allocated once per thread instead of
-//    once per call.
+//    once per call;
+//  * a small cache of batched (mask, row) work-item partitions, so a
+//    service replaying the same multi-mask batch skips the global
+//    partition rebuild too.
 //
 // `multiply` is the plan-then-execute counterpart of `masked_multiply`; it
 // produces bit-identical results (the conformance suite pins both to the
-// same baseline). An ExecutionContext must not be shared by concurrent
-// callers — it is designed for one caller issuing a stream of multiplies,
-// each of which parallelizes internally.
+// same baseline). `multiply_batch` answers N masks against one A·B in a
+// single call — bit-identical to N sequential `multiply` calls, but A and B
+// are fingerprinted once, the per-row flops vector and B's CSC transpose
+// are shared across all N plans, and one global flops-binned partition over
+// (mask, row) work items load-balances the whole batch. An ExecutionContext
+// must not be shared by concurrent callers — it is designed for one caller
+// issuing a stream of multiplies, each of which parallelizes internally.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -47,17 +55,40 @@ class ExecutionContext {
     std::size_t plan_hits = 0;
     std::size_t plan_misses = 0;
     std::size_t plan_evictions = 0;
+    /// Cache hits whose plan failed the shape/flops cross-check (64-bit
+    /// fingerprint collision, or operands re-bound to a different shape)
+    /// and were therefore demoted to misses.
+    std::size_t plan_mismatches = 0;
+    std::size_t batch_calls = 0;  ///< multiply_batch invocations
+    std::size_t batch_masks = 0;  ///< total masks across those batches
     double plan_seconds = 0.0;  ///< total planning/setup time across calls
   };
 
   [[nodiscard]] const CacheStats& cache_stats() const { return stats_; }
   [[nodiscard]] std::size_t plan_count() const { return plans_.size(); }
 
-  /// Drop every cached plan and all per-thread scratch.
+  /// Drop every cached plan, all per-thread scratch, the batch partition
+  /// cache, and the cumulative counters. A context reset between bench
+  /// configurations must not leak hit/miss/plan_seconds across them.
   void clear() {
     plans_.clear();
     order_.clear();
     thread_scratch_.clear();
+    batch_parts_.clear();
+    stats_ = CacheStats{};
+  }
+
+  /// Reset the cumulative counters only, keeping plans and scratch warm —
+  /// for callers that want fresh statistics over an already-warm cache.
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  /// Test seam: post-transform applied to every pattern fingerprint before
+  /// it enters a plan key. Forcing a constant makes every key collide,
+  /// which is the only practical way to exercise the hit-path shape
+  /// cross-check (real 64-bit collisions cannot be constructed on demand).
+  using FingerprintTransform = std::uint64_t (*)(std::uint64_t);
+  void set_fingerprint_transform_for_testing(FingerprintTransform fn) {
+    fp_transform_ = fn;
   }
 
   /// Fetch (or build) the plan for the given operands/configuration. The
@@ -73,46 +104,17 @@ class ExecutionContext {
     // Aliased operands (ktruss: A = B = M = C; tricount: L thrice) are
     // fingerprinted once, not three times.
     const bool valued = semantics == MaskSemantics::kValued;
-    const std::uint64_t fa = pattern_fingerprint(a);
-    const std::uint64_t fb = &b == &a ? fa : pattern_fingerprint(b);
-    std::uint64_t fm;
-    if constexpr (std::is_same_v<VT, MT>) {
-      if (!valued && static_cast<const void*>(&m) ==
-                         static_cast<const void*>(&a)) {
-        fm = fa;
-      } else if (!valued && static_cast<const void*>(&m) ==
-                                static_cast<const void*>(&b)) {
-        fm = fb;
-      } else {
-        fm = pattern_fingerprint(m, valued);
-      }
-    } else {
-      fm = pattern_fingerprint(m, valued);
-    }
+    const std::uint64_t fa = fingerprint(a, false);
+    const std::uint64_t fb = &b == &a ? fa : fingerprint(b, false);
+    const std::uint64_t fm = mask_fingerprint(a, b, m, fa, fb, valued);
     const PlanKey key{fa,
                       fb,
                       fm,
                       static_cast<int>(kind),
                       static_cast<int>(semantics),
                       std::type_index(typeid(Plan))};
-    auto it = plans_.find(key);
-    if (it != plans_.end()) {
-      ++stats_.plan_hits;
-      if (cache_hit != nullptr) *cache_hit = true;
-      return *static_cast<Plan*>(it->second.get());
-    }
-    ++stats_.plan_misses;
-    if (cache_hit != nullptr) *cache_hit = false;
-    auto plan = std::make_shared<Plan>(a, b, m, kind, semantics);
-    Plan& ref = *plan;
-    plans_.emplace(key, std::move(plan));
-    order_.push_back(key);
-    while (plans_.size() > max_plans_) {
-      plans_.erase(order_.front());
-      order_.pop_front();
-      ++stats_.plan_evictions;
-    }
-    return ref;
+    return *acquire_plan<IT, VT, MT>(key, a, b, m, kind, semantics, cache_hit,
+                                     nullptr);
   }
 
   /// Per-thread scratch of any default-constructible type, created on
@@ -243,6 +245,239 @@ class ExecutionContext {
     throw invalid_argument_error("ExecutionContext: unknown algorithm");
   }
 
+  /// Batched multi-mask Masked SpGEMM: Cq = Mq ⊙ (A·B) (or ¬Mq ⊙ (A·B))
+  /// for every mask of the batch, in one call. Results are bit-identical
+  /// to N sequential multiply() calls with the same options, but
+  ///
+  ///  * A and B are fingerprinted once (and each distinct mask object
+  ///    once), not once per mask;
+  ///  * plans missing from the cache are constructed from one shared
+  ///    per-row flops vector and, for the Inner algorithm, one shared CSC
+  ///    transpose of B;
+  ///  * execution runs over one global flops-binned partition of
+  ///    (mask, row) work items, so a batch of skewed masks load-balances
+  ///    across threads better than N back-to-back calls;
+  ///  * per-thread kernel scratch is reused across the whole batch with no
+  ///    intermediate teardown.
+  ///
+  /// Masks may alias each other (the same object may appear several
+  /// times) and may be empty. `opt.stats`, when set, receives batch
+  /// aggregates (plan_cache_hit = every mask hit; summed nnz and timings).
+  template <Semiring SR, class IT, class VT, class MT>
+  std::vector<CsrMatrix<IT, VT>> multiply_batch(
+      const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+      const std::vector<const CsrMatrix<IT, MT>*>& masks,
+      const MaskedSpgemmOptions& opt = {}) {
+    using Plan = SpgemmPlan<IT, VT, MT>;
+    std::vector<CsrMatrix<IT, VT>> outs;
+    const int n = static_cast<int>(masks.size());
+    if (n == 0) return outs;
+    const bool complemented = opt.mask_kind == MaskKind::kComplement;
+    if (complemented && opt.algorithm == MaskedAlgorithm::kMca) {
+      throw invalid_argument_error("MCA does not support complemented masks");
+    }
+    for (const auto* m : masks) {
+      if (m == nullptr) {
+        throw invalid_argument_error("multiply_batch: null mask");
+      }
+      detail::validate_shapes(a.nrows, a.ncols, b.nrows, b.ncols, *m);
+    }
+
+    Timer plan_timer;
+    ++stats_.batch_calls;
+    stats_.batch_masks += static_cast<std::size_t>(n);
+    const bool valued = opt.mask_semantics == MaskSemantics::kValued;
+    const std::uint64_t fa = fingerprint(a, false);
+    const std::uint64_t fb = &b == &a ? fa : fingerprint(b, false);
+
+    // Mask fingerprints, memoized by address so aliased masks hash once.
+    std::vector<std::uint64_t> fm(static_cast<std::size_t>(n));
+    std::unordered_map<const void*, std::uint64_t> fm_memo;
+    for (int q = 0; q < n; ++q) {
+      const void* addr = static_cast<const void*>(masks[q]);
+      const auto it = fm_memo.find(addr);
+      if (it != fm_memo.end()) {
+        fm[static_cast<std::size_t>(q)] = it->second;
+        continue;
+      }
+      fm[static_cast<std::size_t>(q)] =
+          mask_fingerprint(a, b, *masks[q], fa, fb, valued);
+      fm_memo.emplace(addr, fm[static_cast<std::size_t>(q)]);
+    }
+
+    // Acquire (or build) all plans, holding shared ownership so that FIFO
+    // eviction triggered by later misses in this very batch cannot free a
+    // plan the batch still executes. Missing plans are constructed from
+    // the batch-shared flops vector — A·B is counted at most once.
+    std::vector<std::shared_ptr<Plan>> plans(static_cast<std::size_t>(n));
+    std::shared_ptr<const std::vector<std::int64_t>> flops;
+    std::vector<PlanKey> keys;
+    keys.reserve(static_cast<std::size_t>(n));
+    bool all_hits = true;
+    for (int q = 0; q < n; ++q) {
+      keys.push_back(PlanKey{fa,
+                             fb,
+                             fm[static_cast<std::size_t>(q)],
+                             static_cast<int>(opt.mask_kind),
+                             static_cast<int>(opt.mask_semantics),
+                             std::type_index(typeid(Plan))});
+      bool hit = false;
+      plans[static_cast<std::size_t>(q)] = acquire_plan<IT, VT, MT>(
+          keys.back(), a, b, *masks[q], opt.mask_kind, opt.mask_semantics,
+          &hit, &flops);
+      all_hits = all_hits && hit;
+    }
+
+    std::vector<const CsrMatrix<IT, MT>*> eff(static_cast<std::size_t>(n));
+    for (int q = 0; q < n; ++q) {
+      eff[static_cast<std::size_t>(q)] =
+          &plans[static_cast<std::size_t>(q)]->effective_mask(*masks[q]);
+    }
+
+    // One global flops-binned partition over (mask, row) items, cached per
+    // exact key sequence so a replayed batch skips the rebuild. Under a
+    // regular mask, rows whose effective mask row is empty are provably
+    // empty in the output and excluded outright.
+    const BatchRowPartition<IT>& partition = batch_partition_for<IT>(
+        keys, max_threads(), *flops, [&](std::int32_t q, IT i) {
+          return complemented ||
+                 eff[static_cast<std::size_t>(q)]->row_nnz(i) > 0;
+        });
+
+    std::vector<const std::vector<std::size_t>*> ub(
+        static_cast<std::size_t>(n), nullptr);
+    if (opt.phase == MaskedPhase::kOnePhase) {
+      for (int q = 0; q < n; ++q) {
+        ub[static_cast<std::size_t>(q)] =
+            &plans[static_cast<std::size_t>(q)]->ensure_bounds(*masks[q]);
+      }
+    }
+    std::vector<const CscMatrix<IT, VT>*> b_cscs(static_cast<std::size_t>(n),
+                                                 nullptr);
+    if (opt.algorithm == MaskedAlgorithm::kInner) {
+      // One transpose for the whole batch: reuse any plan's existing
+      // cache, inject it into plans without one, then build/refresh each
+      // *distinct* cache exactly once (hit plans that already built their
+      // own keep it — it is just as valid for this B).
+      std::shared_ptr<CscTransposeCache<IT, VT>> shared;
+      for (int q = 0; q < n && shared == nullptr; ++q) {
+        shared = plans[static_cast<std::size_t>(q)]->csc_cache();
+      }
+      if (shared == nullptr) {
+        shared = std::make_shared<CscTransposeCache<IT, VT>>();
+      }
+      std::vector<const void*> refreshed;
+      for (int q = 0; q < n; ++q) {
+        Plan& plan = *plans[static_cast<std::size_t>(q)];
+        plan.adopt_csc(shared);
+        CscTransposeCache<IT, VT>* cache = plan.csc_cache().get();
+        if (std::find(refreshed.begin(), refreshed.end(),
+                      static_cast<const void*>(cache)) == refreshed.end()) {
+          cache->ensure_structure(b);
+          cache->refresh_values(b);
+          refreshed.push_back(cache);
+        }
+        b_cscs[static_cast<std::size_t>(q)] = &cache->csc;
+      }
+    }
+    prepare_threads(max_threads());
+    const double plan_seconds = plan_timer.seconds();
+    stats_.plan_seconds += plan_seconds;
+    if (opt.stats != nullptr) {
+      opt.stats->plan_seconds = plan_seconds;
+      opt.stats->plan_cache_hit = all_hits;
+      opt.stats->symbolic_skipped = false;
+      opt.stats->total_flops = plans[0]->total_flops();
+    }
+
+    std::vector<const std::vector<IT>*> cached(static_cast<std::size_t>(n),
+                                               nullptr);
+    std::vector<std::vector<IT>*> sinks(static_cast<std::size_t>(n), nullptr);
+    for (int q = 0; q < n; ++q) {
+      Plan& plan = *plans[static_cast<std::size_t>(q)];
+      if (plan.has_structure()) {
+        cached[static_cast<std::size_t>(q)] = &plan.structure_rowptr();
+      }
+      sinks[static_cast<std::size_t>(q)] = plan.structure_sink();
+    }
+
+    const IT nrows = masks[0]->nrows;
+    auto run = [&](auto&& factory) {
+      if (opt.phase == MaskedPhase::kOnePhase) {
+        return detail::run_batch_one_phase<IT, VT>(
+            nrows, b.ncols, ub, factory, partition, sinks, opt.stats);
+      }
+      return detail::run_batch_two_phase<IT, VT>(nrows, b.ncols, n, factory,
+                                                 partition, cached, sinks,
+                                                 opt.stats);
+    };
+
+    switch (opt.algorithm) {
+      case MaskedAlgorithm::kMsa: {
+        using K = MsaKernel<SR, IT, VT, MT>;
+        return run([&](int tid, int q) {
+          return K(a, b, *eff[static_cast<std::size_t>(q)], complemented,
+                   &scratch<typename K::Scratch>(tid));
+        });
+      }
+      case MaskedAlgorithm::kHash: {
+        using K = HashKernel<SR, IT, VT, MT>;
+        return run([&](int tid, int q) {
+          return K(a, b, *eff[static_cast<std::size_t>(q)], complemented,
+                   &scratch<typename K::Scratch>(tid));
+        });
+      }
+      case MaskedAlgorithm::kMca: {
+        using K = McaKernel<SR, IT, VT, MT>;
+        return run([&](int tid, int q) {
+          return K(a, b, *eff[static_cast<std::size_t>(q)], complemented,
+                   &scratch<typename K::Scratch>(tid));
+        });
+      }
+      case MaskedAlgorithm::kHeap:
+      case MaskedAlgorithm::kHeapDot: {
+        using K = HeapKernel<SR, IT, VT, MT>;
+        const long fallback =
+            opt.algorithm == MaskedAlgorithm::kHeap ? 1 : kInspectAll;
+        const long inspect =
+            opt.heap_n_inspect >= 0 ? opt.heap_n_inspect : fallback;
+        return run([&, inspect](int tid, int q) {
+          return K(a, b, *eff[static_cast<std::size_t>(q)], complemented,
+                   inspect, &scratch<typename K::Scratch>(tid));
+        });
+      }
+      case MaskedAlgorithm::kInner: {
+        using K = InnerKernel<SR, IT, VT, MT>;
+        return run([&](int, int q) {
+          return K(a, *b_cscs[static_cast<std::size_t>(q)],
+                   *eff[static_cast<std::size_t>(q)], complemented);
+        });
+      }
+      case MaskedAlgorithm::kAdaptive: {
+        using K = AdaptiveKernel<SR, IT, VT, MT>;
+        return run([&](int tid, int q) {
+          return K(a, b, *eff[static_cast<std::size_t>(q)], complemented,
+                   typename K::Policy{},
+                   plans[static_cast<std::size_t>(q)]->flops().data(),
+                   &scratch<typename K::Scratch>(tid));
+        });
+      }
+    }
+    throw invalid_argument_error("ExecutionContext: unknown algorithm");
+  }
+
+  /// Convenience overload taking the masks by value-container.
+  template <Semiring SR, class IT, class VT, class MT>
+  std::vector<CsrMatrix<IT, VT>> multiply_batch(
+      const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+      const std::vector<CsrMatrix<IT, MT>>& masks,
+      const MaskedSpgemmOptions& opt = {}) {
+    std::vector<const CsrMatrix<IT, MT>*> ptrs;
+    ptrs.reserve(masks.size());
+    for (const auto& m : masks) ptrs.push_back(&m);
+    return multiply_batch<SR>(a, b, ptrs, opt);
+  }
+
  private:
   struct PlanKey {
     std::uint64_t fa;
@@ -271,12 +506,142 @@ class ExecutionContext {
     }
   };
 
+  /// Pattern fingerprint with the (test-only) post-transform applied.
+  template <class IT, class T>
+  std::uint64_t fingerprint(const CsrMatrix<IT, T>& x,
+                            bool include_value_zeros) const {
+    const std::uint64_t h = pattern_fingerprint(x, include_value_zeros);
+    return fp_transform_ != nullptr ? fp_transform_(h) : h;
+  }
+
+  /// Mask fingerprint with the aliasing shortcut (a mask that *is* A or B
+  /// under structural semantics reuses their fingerprint).
+  template <class IT, class VT, class MT>
+  std::uint64_t mask_fingerprint(const CsrMatrix<IT, VT>& a,
+                                 const CsrMatrix<IT, VT>& b,
+                                 const CsrMatrix<IT, MT>& m, std::uint64_t fa,
+                                 std::uint64_t fb, bool valued) const {
+    if constexpr (std::is_same_v<VT, MT>) {
+      if (!valued &&
+          static_cast<const void*>(&m) == static_cast<const void*>(&a)) {
+        return fa;
+      }
+      if (!valued &&
+          static_cast<const void*>(&m) == static_cast<const void*>(&b)) {
+        return fb;
+      }
+    }
+    return fingerprint(m, valued);
+  }
+
+  /// Look up (or build) a plan by key, returning shared ownership. On a
+  /// hit the plan's shape and flops length are cross-checked against the
+  /// *current* operands: a 64-bit fingerprint is not proof of identity,
+  /// and a collision (or a caller re-binding operands of a different
+  /// shape) must not silently execute a mismatched plan — mismatches are
+  /// demoted to misses and the stale entry is dropped. `shared_flops`,
+  /// when non-null, threads one flops vector through a batch: it is
+  /// filled from the first plan seen and handed to every plan built after.
+  template <class IT, class VT, class MT>
+  std::shared_ptr<SpgemmPlan<IT, VT, MT>> acquire_plan(
+      const PlanKey& key, const CsrMatrix<IT, VT>& a,
+      const CsrMatrix<IT, VT>& b, const CsrMatrix<IT, MT>& m, MaskKind kind,
+      MaskSemantics semantics, bool* cache_hit,
+      std::shared_ptr<const std::vector<std::int64_t>>* shared_flops) {
+    using Plan = SpgemmPlan<IT, VT, MT>;
+    const auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      auto plan = std::static_pointer_cast<Plan>(it->second);
+      if (plan->nrows() == m.nrows && plan->ncols() == m.ncols &&
+          plan->flops().size() == static_cast<std::size_t>(a.nrows)) {
+        ++stats_.plan_hits;
+        if (cache_hit != nullptr) *cache_hit = true;
+        if (shared_flops != nullptr && *shared_flops == nullptr) {
+          *shared_flops = plan->flops_ptr();
+        }
+        return plan;
+      }
+      ++stats_.plan_mismatches;
+      plans_.erase(it);
+      const auto oit = std::find(order_.begin(), order_.end(), key);
+      if (oit != order_.end()) order_.erase(oit);
+      // Any cached batch partition involving this key was built for the
+      // mismatched operands — drop it, or a later batch over the same
+      // keys would replay a stale partition.
+      batch_parts_.erase(
+          std::remove_if(batch_parts_.begin(), batch_parts_.end(),
+                         [&](const BatchPartitionEntry& e) {
+                           return std::find(e.keys.begin(), e.keys.end(),
+                                            key) != e.keys.end();
+                         }),
+          batch_parts_.end());
+    }
+    ++stats_.plan_misses;
+    if (cache_hit != nullptr) *cache_hit = false;
+    auto plan = std::make_shared<Plan>(
+        a, b, m, kind, semantics,
+        shared_flops != nullptr ? *shared_flops : nullptr);
+    if (shared_flops != nullptr && *shared_flops == nullptr) {
+      *shared_flops = plan->flops_ptr();
+    }
+    plans_.emplace(key, plan);
+    order_.push_back(key);
+    while (plans_.size() > max_plans_) {
+      plans_.erase(order_.front());
+      order_.pop_front();
+      ++stats_.plan_evictions;
+    }
+    return plan;
+  }
+
+  /// Cached global batch partitions, matched by the *exact* plan-key
+  /// sequence (linear scan over a handful of entries, so the map itself
+  /// cannot mis-serve on a bucket collision). The keys are still 64-bit
+  /// fingerprints, so — like the plan cache — a hit is additionally
+  /// cross-checked against the current row count, and acquire_plan purges
+  /// entries whose plan failed its mismatch check; the residual risk is
+  /// the same equal-shape fingerprint collision the plan layer accepts.
+  /// FIFO-bounded like the plan cache.
+  struct BatchPartitionEntry {
+    std::vector<PlanKey> keys;
+    int n_lists;
+    std::size_t nrows;  ///< flops.size() the partition was built over
+    std::type_index type;
+    std::shared_ptr<void> part;
+  };
+  static constexpr std::size_t kMaxBatchPartitions = 8;
+
+  template <class IT, class Included>
+  const BatchRowPartition<IT>& batch_partition_for(
+      const std::vector<PlanKey>& keys, int n_lists,
+      const std::vector<std::int64_t>& flops, Included included) {
+    const std::type_index type{typeid(BatchRowPartition<IT>)};
+    for (const auto& e : batch_parts_) {
+      if (e.n_lists == n_lists && e.type == type && e.nrows == flops.size() &&
+          e.keys == keys) {
+        return *static_cast<const BatchRowPartition<IT>*>(e.part.get());
+      }
+    }
+    auto part = std::make_shared<BatchRowPartition<IT>>(
+        build_batch_partition<IT>(flops, static_cast<int>(keys.size()),
+                                  included, n_lists));
+    const BatchRowPartition<IT>& ref = *part;
+    batch_parts_.push_back(BatchPartitionEntry{keys, n_lists, flops.size(),
+                                               type, std::move(part)});
+    while (batch_parts_.size() > kMaxBatchPartitions) {
+      batch_parts_.pop_front();
+    }
+    return ref;
+  }
+
   std::size_t max_plans_;
   std::unordered_map<PlanKey, std::shared_ptr<void>, PlanKeyHash> plans_;
   std::deque<PlanKey> order_;
   CacheStats stats_;
   std::vector<std::unordered_map<std::type_index, std::shared_ptr<void>>>
       thread_scratch_;
+  std::deque<BatchPartitionEntry> batch_parts_;
+  FingerprintTransform fp_transform_ = nullptr;
 };
 
 }  // namespace msp

@@ -10,9 +10,9 @@
 // Capacity policy guarantees the no-mid-row-resize invariant:
 //  * non-complemented: at most nnz(M(i,:)) live keys → capacity =
 //    next_pow2(4 · nnz(M(i,:))) before the row starts;
-//  * complemented: live keys ≤ nnz(M(i,:)) + (distinct columns inserted),
-//    the latter bounded by min(ncols, flops(i)); the row prologue computes
-//    that bound from A's row and B's row pointers.
+//  * complemented: live keys ≤ min(nnz(M(i,:)) + min(ncols, flops(i)),
+//    ncols) — every key is a column id, so ncols caps the sum; the row
+//    prologue computes that bound from A's row and B's row pointers.
 #pragma once
 
 #include <algorithm>
@@ -168,15 +168,18 @@ class HashKernel {
   template <bool Numeric>
   IT row_complement(IT i, IT* out_cols, VT* out_vals) {
     const auto mcols = m_.row_cols(i);
-    // Bound on distinct inserted columns: min(ncols, row flops).
+    // Bound on distinct inserted columns: min(ncols, row flops). Every key
+    // is a column id, so distinct live keys can never exceed ncols — the
+    // sum is clamped to ncols, or a dense row would allocate an 8·ncols-slot
+    // table for at most ncols live keys.
     std::size_t flops = 0;
     for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
       const IT k = a_.colids[p];
       flops += static_cast<std::size_t>(b_.rowptr[k + 1] - b_.rowptr[k]);
     }
+    const std::size_t ncols = static_cast<std::size_t>(b_.ncols);
     const std::size_t bound =
-        mcols.size() +
-        std::min<std::size_t>(static_cast<std::size_t>(b_.ncols), flops);
+        std::min(mcols.size() + std::min(ncols, flops), ncols);
     begin_row(bound);
     for (IT j : mcols) {
       bool found;

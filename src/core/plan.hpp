@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -188,6 +189,166 @@ RowPartition<IT> build_flops_partition(const std::vector<std::int64_t>& flops,
 }
 
 // ---------------------------------------------------------------------------
+// Batched (mask, row) work-item partition
+// ---------------------------------------------------------------------------
+
+/// Work-item partition for the batched multi-mask path: items are
+/// (mask, row) pairs across the whole batch, bucketed by ⌊log₂ flops⌋ and
+/// dealt round-robin exactly like RowPartition. One global partition over
+/// the batch load-balances N skewed masks better than N per-mask partitions
+/// executed back to back: a mask whose admitted rows happen to be the heavy
+/// ones shares threads with the light masks instead of serializing behind
+/// its own hubs. Items whose output row is provably empty (zero flops, or —
+/// under a regular mask — an empty effective mask row) are omitted.
+template <class IT>
+struct BatchRowPartition {
+  struct Item {
+    IT row;
+    std::int32_t mask;  ///< index into the batch's mask array
+  };
+  std::vector<Item> items;              ///< concatenated per-list items
+  std::vector<std::size_t> list_begin;  ///< size lists()+1
+
+  [[nodiscard]] int lists() const {
+    return list_begin.empty() ? 0 : static_cast<int>(list_begin.size()) - 1;
+  }
+
+  [[nodiscard]] std::span<const Item> list(int l) const {
+    MSP_ASSERT(l >= 0 && l < lists());
+    return {items.data() + list_begin[static_cast<std::size_t>(l)],
+            list_begin[static_cast<std::size_t>(l) + 1] -
+                list_begin[static_cast<std::size_t>(l)]};
+  }
+};
+
+/// Build the global batched partition. `included(mask, row)` filters items
+/// beyond the flops > 0 requirement (the batch driver passes the per-mask
+/// empty-row test); the per-item weight is the shared flops vector, which
+/// models the push kernels' per-row cost independent of the mask.
+template <class IT, class Included>
+BatchRowPartition<IT> build_batch_partition(
+    const std::vector<std::int64_t>& flops, int n_masks, Included included,
+    int n_lists) {
+  n_lists = std::max(1, n_lists);
+  constexpr int kBuckets = 64;  // bucket = bit_width(flops), flops > 0
+  const std::size_t nrows = flops.size();
+  using Item = typename BatchRowPartition<IT>::Item;
+
+  std::vector<std::size_t> bucket_count(kBuckets, 0);
+  for (std::int32_t q = 0; q < n_masks; ++q) {
+    for (std::size_t i = 0; i < nrows; ++i) {
+      if (flops[i] > 0 && included(q, static_cast<IT>(i))) {
+        ++bucket_count[static_cast<std::size_t>(
+            std::bit_width(static_cast<std::uint64_t>(flops[i])))];
+      }
+    }
+  }
+  std::vector<std::size_t> bucket_pos(kBuckets, 0);
+  std::size_t total = 0;
+  for (int bkt = kBuckets - 1; bkt >= 0; --bkt) {
+    bucket_pos[static_cast<std::size_t>(bkt)] = total;
+    total += bucket_count[static_cast<std::size_t>(bkt)];
+  }
+  std::vector<Item> ordered(total);
+  for (std::int32_t q = 0; q < n_masks; ++q) {
+    for (std::size_t i = 0; i < nrows; ++i) {
+      if (flops[i] > 0 && included(q, static_cast<IT>(i))) {
+        const auto bkt = static_cast<std::size_t>(
+            std::bit_width(static_cast<std::uint64_t>(flops[i])));
+        ordered[bucket_pos[bkt]++] = Item{static_cast<IT>(i), q};
+      }
+    }
+  }
+
+  BatchRowPartition<IT> part;
+  part.items.resize(total);
+  part.list_begin.assign(static_cast<std::size_t>(n_lists) + 1, 0);
+  const std::size_t base = total / static_cast<std::size_t>(n_lists);
+  const std::size_t extra = total % static_cast<std::size_t>(n_lists);
+  for (int l = 0; l < n_lists; ++l) {
+    part.list_begin[static_cast<std::size_t>(l) + 1] =
+        part.list_begin[static_cast<std::size_t>(l)] + base +
+        (static_cast<std::size_t>(l) < extra ? 1 : 0);
+  }
+  for (std::size_t p = 0; p < total; ++p) {
+    const std::size_t l = p % static_cast<std::size_t>(n_lists);
+    const std::size_t k = p / static_cast<std::size_t>(n_lists);
+    part.items[part.list_begin[l] + k] = ordered[p];
+  }
+  // Within a list the order is irrelevant for balance (static lists, no
+  // stealing); sort by (mask, row) so each thread processes one mask's rows
+  // as a contiguous ascending run — one kernel construction per run, and
+  // the same near-sequential A/M walk as the single-mask partition.
+#pragma omp parallel for schedule(static)
+  for (int l = 0; l < n_lists; ++l) {
+    std::sort(part.items.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      part.list_begin[static_cast<std::size_t>(l)]),
+              part.items.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      part.list_begin[static_cast<std::size_t>(l) + 1]),
+              [](const Item& x, const Item& y) {
+                return x.mask != y.mask ? x.mask < y.mask : x.row < y.row;
+              });
+  }
+  return part;
+}
+
+// ---------------------------------------------------------------------------
+// Shareable CSC transpose of B
+// ---------------------------------------------------------------------------
+
+/// B's CSC transpose plus the CSR→CSC entry permutation used to re-gather
+/// values. Held by plans through a shared_ptr so the batched multi-mask
+/// path can build one transpose for all N plans of a batch (the structure
+/// depends only on B, not on the mask). The pattern is built once;
+/// `refresh_values` re-gathers from the *current* B so that same-pattern
+/// value updates flow through (a stale-value cache would silently poison
+/// results).
+template <class IT, class VT>
+struct CscTransposeCache {
+  CscMatrix<IT, VT> csc;
+  std::vector<IT> perm;  ///< CSR entry → CSC position
+  bool built = false;
+
+  void ensure_structure(const CsrMatrix<IT, VT>& b) {
+    if (built) return;
+    built = true;
+    const std::size_t nnz = b.nnz();
+    std::vector<IT> colptr(static_cast<std::size_t>(b.ncols) + 1, 0);
+    std::vector<IT> rowids(nnz);
+    perm.resize(nnz);
+    std::vector<IT> next(static_cast<std::size_t>(b.ncols), 0);
+    for (std::size_t p = 0; p < nnz; ++p) {
+      ++next[static_cast<std::size_t>(b.colids[p])];
+    }
+    exclusive_prefix_sum(next);
+    for (IT j = 0; j < b.ncols; ++j) {
+      colptr[static_cast<std::size_t>(j)] = next[static_cast<std::size_t>(j)];
+    }
+    colptr[static_cast<std::size_t>(b.ncols)] = static_cast<IT>(nnz);
+    for (IT i = 0; i < b.nrows; ++i) {
+      for (IT p = b.rowptr[i]; p < b.rowptr[i + 1]; ++p) {
+        const auto pos = static_cast<std::size_t>(
+            next[static_cast<std::size_t>(b.colids[p])]++);
+        rowids[pos] = i;
+        perm[pos] = p;
+      }
+    }
+    csc = CscMatrix<IT, VT>(b.nrows, b.ncols, std::move(colptr),
+                            std::move(rowids), std::vector<VT>(nnz));
+  }
+
+  void refresh_values(const CsrMatrix<IT, VT>& b) {
+    MSP_ASSERT(built);
+#pragma omp parallel for schedule(static)
+    for (std::size_t pos = 0; pos < perm.size(); ++pos) {
+      csc.values[pos] = b.values[static_cast<std::size_t>(perm[pos])];
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
 // SpgemmPlan
 // ---------------------------------------------------------------------------
 
@@ -202,20 +363,30 @@ RowPartition<IT> build_flops_partition(const std::vector<std::int64_t>& flops,
 template <class IT, class VT, class MT>
 class SpgemmPlan {
  public:
+  /// `shared_flops` lets the batched multi-mask path hand every plan of a
+  /// batch the same per-row flops vector (computed once for the shared
+  /// A·B) instead of recounting it N times; when null the plan counts for
+  /// itself. The caller must only pass flops actually derived from (a, b).
   SpgemmPlan(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
              const CsrMatrix<IT, MT>& m, MaskKind kind,
-             MaskSemantics semantics)
+             MaskSemantics semantics,
+             std::shared_ptr<const std::vector<std::int64_t>> shared_flops =
+                 nullptr)
       : nrows_(m.nrows),
         ncols_(m.ncols),
         kind_(kind),
         semantics_(semantics),
-        flops_(row_flops(a, b)) {
+        flops_(shared_flops != nullptr
+                   ? std::move(shared_flops)
+                   : std::make_shared<const std::vector<std::int64_t>>(
+                         row_flops(a, b))) {
+    MSP_ASSERT(flops_->size() == static_cast<std::size_t>(a.nrows));
     total_flops_ = 0;
-    for (std::int64_t f : flops_) total_flops_ += f;
+    for (std::int64_t f : *flops_) total_flops_ += f;
     if (semantics_ == MaskSemantics::kValued) {
       // Valued semantics reduce to structural semantics on the mask with
       // its explicit zeros dropped; filtering is plan work, done once.
-      filtered_ = select(m, [](IT, IT, const MT& v) { return v != MT{}; });
+      filtered_ = drop_explicit_zeros(m);
     }
   }
 
@@ -233,6 +404,12 @@ class SpgemmPlan {
 
   /// Per-row multiply counts of A·B (captured at plan construction).
   [[nodiscard]] const std::vector<std::int64_t>& flops() const {
+    return *flops_;
+  }
+  /// Shareable handle on the flops vector, so sibling plans over the same
+  /// A·B (a batch) can be constructed without recounting.
+  [[nodiscard]] std::shared_ptr<const std::vector<std::int64_t>> flops_ptr()
+      const {
     return flops_;
   }
   [[nodiscard]] std::int64_t total_flops() const { return total_flops_; }
@@ -248,7 +425,7 @@ class SpgemmPlan {
       for (IT i = 0; i < nrows_; ++i) {
         const auto mask_nnz = static_cast<std::size_t>(mm.row_nnz(i));
         const auto f =
-            static_cast<std::size_t>(flops_[static_cast<std::size_t>(i)]);
+            static_cast<std::size_t>((*flops_)[static_cast<std::size_t>(i)]);
         const std::size_t allowed =
             kind_ == MaskKind::kMask
                 ? mask_nnz
@@ -277,48 +454,38 @@ class SpgemmPlan {
   /// if (and only if) it is still empty, which is exactly adopt_structure.
   std::vector<IT>* structure_sink() { return &structure_rowptr_; }
 
-  /// CSC transpose of B for the pull-based Inner kernel. The pattern and
-  /// the CSR→CSC entry permutation are built once; values are re-gathered
-  /// from the *current* B on every call so that same-pattern value updates
-  /// flow through (a stale-value cache would silently poison results).
+  /// CSC transpose of B for the pull-based Inner kernel (structure built
+  /// once, values re-gathered from the *current* B on every call; see
+  /// CscTransposeCache). The cache object is created lazily here unless a
+  /// batch injected a shared one through adopt_csc() first.
   const CscMatrix<IT, VT>& ensure_b_csc(const CsrMatrix<IT, VT>& b) {
-    if (!csc_built_) {
-      csc_built_ = true;
-      const std::size_t nnz = b.nnz();
-      std::vector<IT> colptr(static_cast<std::size_t>(b.ncols) + 1, 0);
-      std::vector<IT> rowids(nnz);
-      csc_perm_.resize(nnz);
-      std::vector<IT> next(static_cast<std::size_t>(b.ncols), 0);
-      for (std::size_t p = 0; p < nnz; ++p) {
-        ++next[static_cast<std::size_t>(b.colids[p])];
-      }
-      exclusive_prefix_sum(next);
-      for (IT j = 0; j < b.ncols; ++j) {
-        colptr[static_cast<std::size_t>(j)] = next[static_cast<std::size_t>(j)];
-      }
-      colptr[static_cast<std::size_t>(b.ncols)] = static_cast<IT>(nnz);
-      for (IT i = 0; i < b.nrows; ++i) {
-        for (IT p = b.rowptr[i]; p < b.rowptr[i + 1]; ++p) {
-          const auto pos = static_cast<std::size_t>(
-              next[static_cast<std::size_t>(b.colids[p])]++);
-          rowids[pos] = i;
-          csc_perm_[pos] = p;
-        }
-      }
-      b_csc_ = CscMatrix<IT, VT>(b.nrows, b.ncols, std::move(colptr),
-                                 std::move(rowids), std::vector<VT>(nnz));
+    if (b_csc_ == nullptr) {
+      b_csc_ = std::make_shared<CscTransposeCache<IT, VT>>();
     }
-    for (std::size_t pos = 0; pos < csc_perm_.size(); ++pos) {
-      b_csc_.values[pos] = b.values[static_cast<std::size_t>(csc_perm_[pos])];
-    }
+    b_csc_->ensure_structure(b);
+    b_csc_->refresh_values(b);
+    return b_csc_->csc;
+  }
+
+  /// The plan's transpose cache (null until first Inner execution or
+  /// adopt_csc). The batch driver uses this to share one transpose across
+  /// every plan of a batch and to refresh each distinct cache exactly once.
+  [[nodiscard]] const std::shared_ptr<CscTransposeCache<IT, VT>>& csc_cache()
+      const {
     return b_csc_;
+  }
+  /// Inject a (possibly already built) shared transpose cache. A no-op if
+  /// the plan already owns one — an existing cache may already be built for
+  /// this B and must not be silently replaced.
+  void adopt_csc(std::shared_ptr<CscTransposeCache<IT, VT>> cache) {
+    if (b_csc_ == nullptr) b_csc_ = std::move(cache);
   }
 
   /// The flops-binned row partition, built for `n_lists` work lists
   /// (typically the thread count) and rebuilt if that changes.
   const RowPartition<IT>& ensure_partition(int n_lists) {
     if (partition_.lists() != std::max(1, n_lists)) {
-      partition_ = build_flops_partition<IT>(flops_, n_lists);
+      partition_ = build_flops_partition<IT>(*flops_, n_lists);
     }
     return partition_;
   }
@@ -330,14 +497,12 @@ class SpgemmPlan {
   MaskSemantics semantics_;
 
   CsrMatrix<IT, MT> filtered_;  // valued semantics only
-  std::vector<std::int64_t> flops_;
+  std::shared_ptr<const std::vector<std::int64_t>> flops_;  // batch-shareable
   std::int64_t total_flops_ = 0;
 
   std::vector<std::size_t> bounds_;     // lazy, 1P
   std::vector<IT> structure_rowptr_;    // lazy, 2P (or adopted from 1P)
-  CscMatrix<IT, VT> b_csc_;             // lazy, Inner
-  std::vector<IT> csc_perm_;            // CSR entry → CSC position
-  bool csc_built_ = false;
+  std::shared_ptr<CscTransposeCache<IT, VT>> b_csc_;  // lazy, Inner
   RowPartition<IT> partition_;          // lazy
 };
 

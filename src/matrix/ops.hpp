@@ -168,6 +168,18 @@ CsrMatrix<IT, VT> select(const CsrMatrix<IT, VT>& a, Pred pred) {
   return out;
 }
 
+/// Drop explicitly stored zeros (parallel, via select). This is the
+/// reduction that defines *valued* mask semantics relative to structural
+/// semantics: a valued mask admits only entries whose stored value is
+/// nonzero, so filtering the zeros once turns it into a structurally
+/// equivalent mask. Shared by the planless dispatchers
+/// (core/masked_spgemm.hpp), the scheme registry's baseline paths, and
+/// `SpgemmPlan`'s constructor.
+template <class IT, class VT>
+CsrMatrix<IT, VT> drop_explicit_zeros(const CsrMatrix<IT, VT>& m) {
+  return select(m, [](IT, IT, const VT& v) { return v != VT{}; });
+}
+
 /// Strictly lower-triangular part (col < row). Used by triangle counting.
 template <class IT, class VT>
 CsrMatrix<IT, VT> tril(const CsrMatrix<IT, VT>& a) {

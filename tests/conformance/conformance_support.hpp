@@ -144,12 +144,8 @@ std::vector<Case<IT>> corpus() {
   return out;
 }
 
-/// Drop explicitly stored zeros — the reduction that defines valued
-/// semantics relative to structural semantics.
-template <class IT, class VT>
-CsrMatrix<IT, VT> drop_explicit_zeros(const CsrMatrix<IT, VT>& m) {
-  return select(m, [](IT, IT, const VT& v) { return v != VT{}; });
-}
+// The valued-semantics reduction (drop explicitly stored zeros) comes from
+// the library's shared helper, msp::drop_explicit_zeros (matrix/ops.hpp).
 
 /// The pinned reference (core/baseline.hpp): SS:SAXPY-style unmasked
 /// multiply + mask application, on the structurally-equivalent mask.
