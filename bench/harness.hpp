@@ -5,17 +5,21 @@
 // series the paper plots.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "core/dispatch.hpp"
+#include "core/engine.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "gen/rmat.hpp"
 #include "gen/structured.hpp"
 #include "matrix/csr.hpp"
+#include "matrix/mmio.hpp"
 #include "matrix/ops.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -54,10 +58,38 @@ struct CorpusEntry {
   std::function<Graph()> make;
 };
 
+/// Directory scanned for real SuiteSparse matrices (satellite of the
+/// ROADMAP corpus item): every `*.mtx` file under `MSP_SUITESPARSE_DIR`
+/// (default `data/suitesparse`, populated by scripts/fetch_suitesparse.sh)
+/// becomes a corpus entry named `ss-<stem>`, loaded as a simple symmetric
+/// graph. Opt-in: when the directory is absent or empty the generated
+/// corpus is unchanged.
+inline std::vector<CorpusEntry> suitesparse_corpus() {
+  const char* env = std::getenv("MSP_SUITESPARSE_DIR");
+  const std::filesystem::path dir =
+      (env != nullptr && *env != '\0') ? env : "data/suitesparse";
+  std::vector<CorpusEntry> entries;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return entries;
+  std::vector<std::filesystem::path> files;
+  for (const auto& e : std::filesystem::directory_iterator(dir, ec)) {
+    if (e.path().extension() == ".mtx") files.push_back(e.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    entries.push_back({"ss-" + path.stem().string(), [path] {
+                         return remove_diagonal(symmetrize(
+                             read_matrix_market_csr<IT, VT>(path.string())));
+                       }});
+  }
+  return entries;
+}
+
 /// The benchmark corpus: R-MAT (skewed, social/web-like), Erdős-Rényi
 /// (near-regular) and grid (mesh/road-like) graphs spanning the density and
-/// skew axes of the paper's real-graph set. `MSP_CORPUS_SCALE_ADD` grows
-/// every graph by that many powers of two for closer-to-paper sizes.
+/// skew axes of the paper's real-graph set, plus any fetched SuiteSparse
+/// matrices (see suitesparse_corpus). `MSP_CORPUS_SCALE_ADD` grows every
+/// generated graph by that many powers of two for closer-to-paper sizes.
 inline std::vector<CorpusEntry> corpus() {
   const int add = static_cast<int>(env_long("MSP_CORPUS_SCALE_ADD", 0));
   std::vector<CorpusEntry> entries;
@@ -86,6 +118,7 @@ inline std::vector<CorpusEntry> corpus() {
   entries.push_back({"er13-d4", er(13, 4.0)});
   entries.push_back({"grid-64", grid(64)});
   entries.push_back({"grid-128", grid(128)});
+  for (auto& ss : suitesparse_corpus()) entries.push_back(std::move(ss));
   return entries;
 }
 

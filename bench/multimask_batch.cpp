@@ -1,5 +1,5 @@
 // Batched multi-mask benchmark: N query masks against one A·B through
-// ExecutionContext::multiply_batch vs N cold sequential multiply calls.
+// Engine::multiply_batch vs N cold sequential builder calls.
 //
 // The masks model the ROADMAP's multi-mask service: each query selects a
 // random subset of vertices and asks for their masked product rows (vertex
@@ -76,37 +76,35 @@ int main() {
 
   for (Scheme s : {Scheme::kMsa1P, Scheme::kMsa2P, Scheme::kHash2P,
                    Scheme::kInner2P}) {
-    MaskedSpgemmOptions opt;
-    if (!scheme_to_options(s, opt)) continue;
-
-    // N cold sequential calls: a fresh context per repetition, so every
+    // N cold sequential calls: a fresh engine per repetition, so every
     // query pays its full planning cost (the pre-batch unit economics).
     std::vector<Graph> seq_out;
     const double seq_seconds = time_best(
         [&] {
-          ExecutionContext ctx;
+          Engine engine;
           seq_out.clear();
           for (const Graph* m : masks) {
-            seq_out.push_back(ctx.multiply<PlusTimes<VT>>(g, g, *m, opt));
+            seq_out.push_back(
+                engine.multiply(g, g).mask(*m).scheme(s).run());
           }
         },
         repetitions);
 
-    // Cold batch: fresh context per repetition as well.
+    // Cold batch: fresh engine per repetition as well.
     std::vector<Graph> batch_out;
     const double batch_seconds = time_best(
         [&] {
-          ExecutionContext ctx;
-          batch_out = ctx.multiply_batch<PlusTimes<VT>>(g, g, masks, opt);
+          Engine engine;
+          batch_out = engine.multiply_batch<PlusTimes<VT>>(s, g, g, masks);
         },
         repetitions);
 
     // Warm batch: every plan, structure, and the global partition cached.
-    ExecutionContext warm_ctx;
-    (void)warm_ctx.multiply_batch<PlusTimes<VT>>(g, g, masks, opt);
+    Engine warm_engine;
+    (void)warm_engine.multiply_batch<PlusTimes<VT>>(s, g, g, masks);
     const double warm_seconds = time_best(
         [&] {
-          (void)warm_ctx.multiply_batch<PlusTimes<VT>>(g, g, masks, opt);
+          (void)warm_engine.multiply_batch<PlusTimes<VT>>(s, g, g, masks);
         },
         repetitions);
 

@@ -1,5 +1,6 @@
 // Plan/execute amortization study: repeated application runs with a
-// persistent ExecutionContext vs per-call (planless) execution.
+// persistent Engine (the facade over the plan cache) vs per-call
+// (planless) execution.
 //
 // The ROADMAP's north-star scenario is a service answering many masked
 // multiplies over mostly-stable operands; its unit economics are visible
@@ -75,9 +76,10 @@ int main() {
     const Run planless = repeat(repetitions, [&] {
       return triangle_count(tri_input, s).plan_stats;
     });
-    ExecutionContext ctx;
+    Engine engine;
+    const BoundMatrix<IT, VT> l = engine.bind(tri_input.l);
     const Run planned = repeat(repetitions, [&] {
-      return triangle_count(tri_input, s, &ctx).plan_stats;
+      return triangle_count(tri_input, s, engine, &l).plan_stats;
     });
     report("tricount", s, planless, planned);
   }
@@ -85,9 +87,9 @@ int main() {
   for (Scheme s : schemes) {
     const Run planless =
         repeat(repetitions, [&] { return ktruss(g, 5, s).plan_stats; });
-    ExecutionContext ctx;
+    Engine engine;
     const Run planned = repeat(
-        repetitions, [&] { return ktruss(g, 5, s, 1000, &ctx).plan_stats; });
+        repetitions, [&] { return ktruss(g, 5, s, engine).plan_stats; });
     report("ktruss", s, planless, planned);
   }
 
@@ -95,9 +97,9 @@ int main() {
     const Run planless = repeat(repetitions, [&] {
       return betweenness_centrality_batch(g, bc_batch, s).plan_stats;
     });
-    ExecutionContext ctx;
+    Engine engine;
     const Run planned = repeat(repetitions, [&] {
-      return betweenness_centrality_batch(g, bc_batch, s, &ctx).plan_stats;
+      return betweenness_centrality_batch(g, bc_batch, s, engine).plan_stats;
     });
     report("bc", s, planless, planned);
   }

@@ -23,8 +23,9 @@ int main(int argc, char** argv) {
   std::printf("R-MAT scale %d: %d vertices, %zu nnz; batch of %d sources\n\n",
               scale, graph.nrows, graph.nnz(), batch);
 
-  const auto r =
-      msp::betweenness_centrality_batch(graph, batch, msp::Scheme::kMsa1P);
+  msp::Engine engine;  // plan cache + scratch shared across all levels
+  const auto r = msp::betweenness_centrality_batch(
+      graph, batch, msp::Scheme::kMsa1P, engine);
   const double mteps = static_cast<double>(batch) *
                        static_cast<double>(graph.nnz()) / r.spgemm_seconds /
                        1e6;

@@ -19,13 +19,7 @@ using VT = double;
 namespace {
 
 bool parse_scheme(const std::string& name, msp::Scheme& out) {
-  for (msp::Scheme s : msp::all_schemes()) {
-    if (name == std::string(msp::scheme_name(s))) {
-      out = s;
-      return true;
-    }
-  }
-  return false;
+  return msp::scheme_from_name(name, out);
 }
 
 int usage() {
@@ -35,7 +29,7 @@ int usage() {
   for (msp::Scheme s : msp::all_schemes()) {
     std::fprintf(stderr, " %s", std::string(msp::scheme_name(s)).c_str());
   }
-  std::fprintf(stderr, "\n");
+  std::fprintf(stderr, " Auto\n");
   return 2;
 }
 
@@ -69,7 +63,8 @@ int main(int argc, char** argv) {
       const auto g = msp::remove_diagonal(msp::symmetrize(
           msp::read_matrix_market_csr<IT, VT>(paths[0])));
       std::printf("graph: %d vertices, %zu nnz\n", g.nrows, g.nnz());
-      const auto r = msp::triangle_count(g, scheme);
+      msp::Engine engine;
+      const auto r = msp::triangle_count(g, scheme, engine);
       std::printf("triangles = %lld  (%s, %.6f s in Masked SpGEMM)\n",
                   static_cast<long long>(r.triangles),
                   std::string(msp::scheme_name(scheme)).c_str(),
@@ -84,9 +79,15 @@ int main(int argc, char** argv) {
     std::printf("A: %dx%d nnz=%zu, B: %dx%d nnz=%zu, M: %dx%d nnz=%zu\n",
                 a.nrows, a.ncols, a.nnz(), b.nrows, b.ncols, b.nnz(),
                 m.nrows, m.ncols, m.nnz());
+    // The runtime path end to end: the whole configuration parsed from
+    // the command line becomes one DynConfig.
+    msp::Engine engine;
+    msp::DynConfig cfg;
+    cfg.semiring = msp::SemiringId::kPlusTimes;
+    cfg.scheme = scheme;
+    cfg.mask_kind = kind;
     msp::Timer t;
-    const auto c =
-        msp::run_scheme<msp::PlusTimes<VT>>(scheme, a, b, m, kind);
+    const auto c = engine.multiply_dyn(a, b, m, cfg);
     std::printf("C = %sM .* (A*B): %zu nnz in %.6f s (%s)\n",
                 kind == msp::MaskKind::kComplement ? "!" : "", c.nnz(),
                 t.seconds(), std::string(msp::scheme_name(scheme)).c_str());

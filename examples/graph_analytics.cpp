@@ -22,8 +22,13 @@ int main(int argc, char** argv) {
   std::printf("R-MAT scale %d, edge factor %.0f: %d vertices, %zu nnz\n\n",
               scale, edge_factor, g.nrows, g.nnz());
 
-  // Connected components (semiring label propagation).
-  const auto cc = msp::connected_components(g);
+  // One Engine is the front door for the whole tour: every analysis below
+  // shares its plan cache and per-thread scratch.
+  msp::Engine engine;
+
+  // Connected components (label propagation as masked SpMV on the
+  // (min, first) semiring, issued through the engine).
+  const auto cc = msp::connected_components(g, engine);
   std::printf("components:        %d (in %d label-propagation rounds)\n",
               msp::count_components(cc), cc.iterations);
 
@@ -39,18 +44,21 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   // Clustering coefficients.
-  const auto cl = msp::clustering_coefficients(g, msp::Scheme::kHash1P);
+  const auto cl = msp::clustering_coefficients(g, msp::Scheme::kHash1P,
+                                               &engine);
   std::printf("avg clustering:    %.4f\n", cl.average_coefficient);
 
   // Multi-source BFS (complemented-mask Masked SpGEMM) from 4 sources.
   const std::vector<IT> sources = {0, 1, 2, 3};
-  const auto bfs = msp::multi_source_bfs(g, sources, msp::Scheme::kMsa1P);
+  const auto bfs =
+      msp::multi_source_bfs(g, sources, msp::Scheme::kMsa1P, &engine);
   std::printf("BFS depth:         %d levels from %zu sources (%.6f s in "
               "Masked SpGEMM)\n",
               bfs.depth, sources.size(), bfs.spgemm_seconds);
 
   // Direction-optimized single-source BFS (masked SpMV push/pull).
-  const auto dob = msp::bfs_direction_optimized(g, IT{0});
+  const auto dob = msp::bfs_direction_optimized(g, IT{0}, 14.0, 24.0,
+                                                &engine);
   IT reached = 0;
   IT eccentricity = 0;
   for (IT lvl : dob.level) {
@@ -64,13 +72,13 @@ int main(int argc, char** argv) {
               reached, eccentricity, dob.push_steps, dob.pull_steps);
 
   // k-truss peeling summary.
-  const auto kt = msp::ktruss(g, 5, msp::Scheme::kMsa1P);
+  const auto kt = msp::ktruss(g, 5, msp::Scheme::kMsa1P, engine);
   std::printf("5-truss:           %zu of %zu edges survive (%d rounds)\n",
               kt.truss.nnz() / 2, g.nnz() / 2, kt.iterations);
 
   // Betweenness centrality of the most central vertex.
   const auto bc = msp::betweenness_centrality_batch(
-      g, std::min<IT>(64, g.nrows), msp::Scheme::kMsa1P);
+      g, std::min<IT>(64, g.nrows), msp::Scheme::kMsa1P, engine);
   const auto max_it =
       std::max_element(bc.centrality.begin(), bc.centrality.end());
   std::printf("max BC (batch 64): vertex %ld with score %.1f\n",

@@ -7,7 +7,8 @@
 // fingerprinted once, the per-row flops vector and B's transpose are
 // shared across every query plan, and one global flops-binned (mask, row)
 // partition load-balances the skewed queries across threads. Compare with
-// the same queries issued as sequential multiply() calls.
+// the same queries issued as sequential builder calls. Everything goes
+// through the msp::Engine facade — the service's single front door.
 #include <cstdio>
 #include <vector>
 
@@ -30,33 +31,36 @@ int main() {
   std::vector<const CsrMatrix<index_t, VT>*> masks;
   for (const auto& m : queries) masks.push_back(&m);
 
-  MaskedSpgemmOptions opt;
-  opt.phase = MaskedPhase::kTwoPhase;
+  const Scheme scheme = Scheme::kMsa2P;
 
-  // Sequential: every query fingerprints A/B and plans for itself.
-  ExecutionContext seq_ctx;
+  // Sequential: every query fingerprints A and plans for itself.
+  Engine seq_engine;
   Timer t_seq;
   std::vector<CsrMatrix<index_t, VT>> seq;
   for (const auto* m : masks) {
-    seq.push_back(seq_ctx.multiply<SR>(a, a, *m, opt));
+    seq.push_back(seq_engine.multiply(a, a).mask(*m).scheme(scheme).run());
   }
   std::printf("sequential: %7.2f ms (%zu plans, %.2f ms planning)\n",
-              t_seq.millis(), seq_ctx.plan_count(),
-              seq_ctx.cache_stats().plan_seconds * 1e3);
+              t_seq.millis(), seq_engine.plan_count(),
+              seq_engine.cache_stats().plan_seconds * 1e3);
 
   // Batched: one call, shared fingerprints/flops, one global partition.
-  ExecutionContext ctx;
+  Engine engine;
   MaskedSpgemmStats stats;
-  opt.stats = &stats;
   Timer t_batch;
-  const auto batch = ctx.multiply_batch<SR>(a, a, masks, opt);
+  const auto batch =
+      engine.multiply_batch<SR>(scheme, a, a, masks, MaskKind::kMask,
+                                MaskSemantics::kStructural, &stats);
   std::printf("batch cold: %7.2f ms (%zu plans, %.2f ms planning)\n",
-              t_batch.millis(), ctx.plan_count(), stats.plan_seconds * 1e3);
+              t_batch.millis(), engine.plan_count(),
+              stats.plan_seconds * 1e3);
 
   // The same batch again: plans, symbolic structures, and the global
   // partition all come from the caches.
   Timer t_warm;
-  const auto warm = ctx.multiply_batch<SR>(a, a, masks, opt);
+  const auto warm =
+      engine.multiply_batch<SR>(scheme, a, a, masks, MaskKind::kMask,
+                                MaskSemantics::kStructural, &stats);
   std::printf("batch warm: %7.2f ms (symbolic %s, plan hit: %s)\n",
               t_warm.millis(), stats.symbolic_skipped ? "skipped" : "run",
               stats.plan_cache_hit ? "yes" : "no");
@@ -70,7 +74,7 @@ int main() {
            batch[q].values == seq[q].values &&
            warm[q].values == seq[q].values;
   }
-  const auto& cs = ctx.cache_stats();
+  const auto& cs = engine.cache_stats();
   std::printf(
       "answers: %zu queries, %zu nnz total, bit-identical to sequential: "
       "%s\n",

@@ -1,10 +1,12 @@
 // Quickstart: build two small sparse matrices and a mask, run Masked SpGEMM
-// with each algorithm, and print the result.
+// through the msp::Engine facade, and print the result.
 //
 //   $ ./examples/quickstart
 //
-// Walks through the core API: COO construction, conversion to CSR, the
-// masked multiply with algorithm/phase options, and the complemented mask.
+// Walks through the primary API: COO construction, conversion to CSR, the
+// Engine's fluent multiply builder (scheme / complement / semiring), the
+// type-erased runtime path (multiply_dyn), and the low-level
+// masked_multiply escape hatch that the facade wraps.
 #include <cstdio>
 
 #include "mspgemm.hpp"
@@ -50,34 +52,59 @@ int main() {
   print_matrix("A", a);
   print_matrix("M (mask)", mask);
 
-  // C = M .* (A*A) on the arithmetic semiring, with each algorithm family.
+  // The Engine is the front door: it owns the plan cache and per-thread
+  // scratch that amortize repeated multiplies.
+  msp::Engine engine;
+
+  // C = M .* (A*A) on the arithmetic semiring, with each scheme family.
   // All produce identical results; they differ in how the accumulator that
   // merges scaled rows is organized (see paper sections 4-5).
-  using SR = msp::PlusTimes<VT>;
-  for (msp::MaskedAlgorithm algo :
-       {msp::MaskedAlgorithm::kMsa, msp::MaskedAlgorithm::kHash,
-        msp::MaskedAlgorithm::kMca, msp::MaskedAlgorithm::kHeap,
-        msp::MaskedAlgorithm::kHeapDot, msp::MaskedAlgorithm::kInner}) {
-    msp::MaskedSpgemmOptions opt;
-    opt.algorithm = algo;
-    const auto c = msp::masked_multiply<SR>(a, a, mask, opt);
-    std::printf("\n== algorithm %s\n", msp::algorithm_name(algo));
+  for (msp::Scheme s :
+       {msp::Scheme::kMsa1P, msp::Scheme::kHash1P, msp::Scheme::kMca1P,
+        msp::Scheme::kHeap1P, msp::Scheme::kHeapDot1P, msp::Scheme::kInner1P}) {
+    const auto c = engine.multiply(a, a).mask(mask).scheme(s).run();
+    std::printf("\n== scheme %s\n", std::string(msp::scheme_name(s)).c_str());
     print_matrix("C = M .* (A*A)", c);
   }
 
-  // The complemented mask keeps everything the mask would discard.
-  msp::MaskedSpgemmOptions opt;
-  opt.mask_kind = msp::MaskKind::kComplement;
-  const auto cc = msp::masked_multiply<SR>(a, a, mask, opt);
-  std::printf("\n== complemented mask (MSA)\n");
+  // The complemented mask keeps everything the mask would discard, and
+  // Scheme::kAuto lets the engine pick kernel and phase from the call's
+  // flops density.
+  const auto cc = engine.multiply(a, a)
+                      .mask(mask)
+                      .complement()
+                      .scheme(msp::Scheme::kAuto)
+                      .run();
+  std::printf("\n== complemented mask (Auto)\n");
   print_matrix("C = !M .* (A*A)", cc);
 
-  // Two-phase execution computes the output pattern first (symbolic), then
-  // the values (numeric) — see paper section 6 for the trade-off.
-  opt = {};
+  // Non-default semirings plug in by template family: plus-pair counts the
+  // contributing products per admitted output position.
+  const auto counts = engine.multiply(a, a)
+                          .mask(mask)
+                          .semiring<msp::PlusPair>()
+                          .scheme(msp::Scheme::kMsa2P)
+                          .run();
+  std::printf("\n== plus-pair semiring, two-phase\n");
+  print_matrix("C = M .* count(A*A)", counts);
+
+  // The type-erased runtime path: the whole configuration — semiring,
+  // scheme, mask kind — is data, the shape a service request takes.
+  msp::DynConfig cfg;
+  cfg.semiring = msp::SemiringId::kPlusTimes;
+  cfg.scheme = msp::Scheme::kHash2P;
+  const auto c_dyn = engine.multiply_dyn(a, a, mask, cfg);
+  std::printf("\n== multiply_dyn (%s on %s)\n",
+              std::string(msp::scheme_name(cfg.scheme)).c_str(),
+              msp::semiring_id_name(cfg.semiring));
+  print_matrix("C (dyn)", c_dyn);
+
+  // The low-level planless entry point is still there underneath the
+  // facade — one call, zero retained state.
+  msp::MaskedSpgemmOptions opt;
   opt.phase = msp::MaskedPhase::kTwoPhase;
-  const auto c2p = msp::masked_multiply<SR>(a, a, mask, opt);
-  std::printf("\n== two-phase execution\n");
+  const auto c2p = msp::masked_multiply<msp::PlusTimes<VT>>(a, a, mask, opt);
+  std::printf("\n== planless masked_multiply (low-level API)\n");
   print_matrix("C (2P)", c2p);
   return 0;
 }

@@ -3,8 +3,10 @@
 //
 //   $ ./examples/triangle_counting [scale] [edge_factor]
 //
-// Demonstrates the application-level API (apps/tricount.hpp) and the scheme
-// registry used by the benchmark harness.
+// Demonstrates the application-level API (apps/tricount.hpp) driven
+// through the msp::Engine facade: one engine across all schemes, with L
+// held as a BoundMatrix handle so every count after the first reuses the
+// cached plan and skips even the per-call pattern fingerprint.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -29,10 +31,12 @@ int main(int argc, char** argv) {
   std::printf("L: %zu nonzeros, %lld flops in L*L\n\n", input.l.nnz(),
               static_cast<long long>(input.flops));
 
+  msp::Engine engine;
+  const auto l = engine.bind(input.l);
   std::printf("%-12s %14s %12s %10s\n", "scheme", "triangles", "seconds",
               "GFLOPS");
   for (msp::Scheme s : msp::all_schemes()) {
-    const auto r = msp::triangle_count(input, s);
+    const auto r = msp::triangle_count(input, s, engine, &l);
     const double gflops =
         2.0 * static_cast<double>(r.flops) / r.spgemm_seconds / 1e9;
     std::printf("%-12s %14lld %12.6f %10.3f\n",

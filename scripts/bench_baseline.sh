@@ -12,6 +12,12 @@
 #   MSP_MULTIMASK_SCALE / MSP_BATCH multimask batch bench R-MAT scale and
 #                                   batch size (default 10 / 8; acceptance
 #                                   runs use MSP_MULTIMASK_SCALE=17)
+#   MSP_ENGINE_SCALE                engine_reuse bench R-MAT scale (def. 12)
+#   MSP_BENCH_THREADS               optional space-separated thread counts
+#                                   (e.g. "1 2 4 8"): re-runs the fig10
+#                                   sweep once per count and records a
+#                                   thread_sweep array (parallel-scaling
+#                                   first step); unset records null
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -22,13 +28,15 @@ export MSP_SCALE_MAX=${MSP_SCALE_MAX:-10}
 export MSP_REPS=${MSP_REPS:-3}
 MSP_MULTIMASK_SCALE=${MSP_MULTIMASK_SCALE:-10}
 MSP_BATCH=${MSP_BATCH:-8}
+MSP_ENGINE_SCALE=${MSP_ENGINE_SCALE:-12}
+MSP_BENCH_THREADS=${MSP_BENCH_THREADS:-}
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DMSPGEMM_BUILD_BENCH=ON \
   -DMSPGEMM_BUILD_TESTS=OFF >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_fig10_tricount_scale \
-  --target bench_multimask_batch >/dev/null
+  --target bench_multimask_batch --target bench_engine_reuse >/dev/null
 # Best-effort: the micro benchmark target only exists when Google Benchmark
 # is installed; the baseline degrades gracefully without it.
 cmake --build "$BUILD_DIR" -j --target bench_micro_accumulators \
@@ -36,15 +44,27 @@ cmake --build "$BUILD_DIR" -j --target bench_micro_accumulators \
 
 FIG10_TXT=$(mktemp)
 MULTIMASK_TXT=$(mktemp)
-trap 'rm -f "$FIG10_TXT" "$MULTIMASK_TXT"' EXIT
+ENGINE_TXT=$(mktemp)
+SWEEP_TMP=$(mktemp -d)
+trap 'rm -f "$FIG10_TXT" "$MULTIMASK_TXT" "$ENGINE_TXT"; rm -rf "$SWEEP_TMP"' EXIT
 echo "running bench_fig10_tricount_scale (scales $MSP_SCALE_MIN..$MSP_SCALE_MAX, $MSP_REPS reps)" >&2
 "$BUILD_DIR/bench/bench_fig10_tricount_scale" > "$FIG10_TXT"
 echo "running bench_multimask_batch (scale $MSP_MULTIMASK_SCALE, batch $MSP_BATCH, $MSP_REPS reps)" >&2
 MSP_SCALE=$MSP_MULTIMASK_SCALE MSP_BATCH=$MSP_BATCH \
   "$BUILD_DIR/bench/bench_multimask_batch" > "$MULTIMASK_TXT"
+echo "running bench_engine_reuse (scale $MSP_ENGINE_SCALE, $MSP_REPS reps)" >&2
+MSP_SCALE=$MSP_ENGINE_SCALE \
+  "$BUILD_DIR/bench/bench_engine_reuse" > "$ENGINE_TXT"
+# Optional thread-count sweep: one fig10 run per requested thread count.
+for t in $MSP_BENCH_THREADS; do
+  echo "running bench_fig10_tricount_scale with $t threads" >&2
+  OMP_NUM_THREADS=$t "$BUILD_DIR/bench/bench_fig10_tricount_scale" \
+    > "$SWEEP_TMP/threads_$t.txt"
+done
 
-# Turn the fig10 table (header row of scheme names, one row per scale,
+# Turn a fig10 table (header row of scheme names, one row per scale,
 # GFLOPS cells) into a JSON array of {scale, gflops:{scheme: value}}.
+# Takes the table file as $1 so the thread sweep reuses the same parser.
 fig10_json() {
   awk '
     /^#/ { next }
@@ -56,7 +76,40 @@ fig10_json() {
       printf "}}"
       sep = ",\n      "
     }
-  ' "$FIG10_TXT"
+  ' "$1"
+}
+
+# Turn the engine_reuse table (one row per scheme: cold / warm-raw /
+# warm-bound seconds, plan-cache hit rate, fingerprints hashed by the raw
+# and bound regimes, bit-identical flag) into a JSON array.
+engine_json() {
+  awk '
+    /^#/ { next }
+    $1 == "scheme" { next }
+    {
+      printf "%s{\"scheme\": \"%s\", \"cold_s\": %s, \"warm_raw_s\": %s, \"warm_bound_s\": %s, \"hit_rate\": %s, \"fingerprints_raw\": %s, \"fingerprints_bound\": %s, \"identical\": %s}", \
+        sep, $1, $2, $3, $4, $5, $6, $7, ($8 == 1 ? "true" : "false")
+      sep = ",\n      "
+    }
+  ' "$ENGINE_TXT"
+}
+
+# The optional thread sweep: one {threads, fig10_tricount_scale} object per
+# requested count, or null when MSP_BENCH_THREADS is unset.
+thread_sweep_json() {
+  if [ -z "$MSP_BENCH_THREADS" ]; then
+    printf 'null'
+    return
+  fi
+  printf '[\n      '
+  tsep=""
+  for t in $MSP_BENCH_THREADS; do
+    printf '%b{"threads": %s, "fig10_tricount_scale": [\n      ' "$tsep" "$t"
+    fig10_json "$SWEEP_TMP/threads_$t.txt"
+    printf '\n  ]}'
+    tsep=',\n      '
+  done
+  printf '\n  ]'
 }
 
 # Turn the multimask table (one row per scheme: batch/sequential seconds,
@@ -100,12 +153,19 @@ DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
   printf '  "config": {"scale_min": %s, "scale_max": %s, "reps": %s},\n' \
     "$MSP_SCALE_MIN" "$MSP_SCALE_MAX" "$MSP_REPS"
   printf '  "fig10_tricount_scale": [\n      '
-  fig10_json
+  fig10_json "$FIG10_TXT"
   printf '\n  ],\n'
   printf '  "multimask_batch": {"scale": %s, "batch": %s, "results": [\n      ' \
     "$MSP_MULTIMASK_SCALE" "$MSP_BATCH"
   multimask_json
   printf '\n  ]},\n'
+  printf '  "engine_reuse": {"scale": %s, "results": [\n      ' \
+    "$MSP_ENGINE_SCALE"
+  engine_json
+  printf '\n  ]},\n'
+  printf '  "thread_sweep": '
+  thread_sweep_json
+  printf ',\n'
   printf '  "micro_accumulators": %s\n' "$MICRO_JSON"
   printf '}\n'
 } > "$OUT"

@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# Fetch a small opt-in SuiteSparse corpus (first step on the ROADMAP
+# "real-matrix corpus" item). Downloads 2-3 small real graphs from the
+# SuiteSparse Matrix Collection into data/suitesparse/ as .mtx files; the
+# bench harness (bench/harness.hpp) picks up every *.mtx there as a corpus
+# entry named ss-<stem>. Entirely opt-in: nothing in the build or CI
+# requires these files, and the generated corpus is unchanged without them.
+#
+#   ./scripts/fetch_suitesparse.sh            # fetch into data/suitesparse
+#   MSP_SUITESPARSE_DIR=/path ./scripts/...   # fetch elsewhere
+#
+# Matrices (kept deliberately tiny — well under the paper's 26-graph set,
+# but real degree distributions rather than generated ones):
+#   Newman/karate    34 vertices     the classic Zachary karate club
+#   HB/bcspwr06      1454 vertices   power network (mesh-like)
+#   SNAP/ca-GrQc     5242 vertices   collaboration network (skewed)
+set -eu
+cd "$(dirname "$0")/.."
+
+DEST=${MSP_SUITESPARSE_DIR:-data/suitesparse}
+BASE=${MSP_SUITESPARSE_BASE:-https://suitesparse-collection-website.herokuapp.com/MM}
+MATRICES="Newman/karate HB/bcspwr06 SNAP/ca-GrQc"
+
+if command -v curl >/dev/null 2>&1; then
+  fetch() { curl -fsSL -o "$2" "$1"; }
+elif command -v wget >/dev/null 2>&1; then
+  fetch() { wget -q -O "$2" "$1"; }
+else
+  echo "error: need curl or wget" >&2
+  exit 1
+fi
+
+mkdir -p "$DEST"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+for spec in $MATRICES; do
+  name=${spec#*/}
+  out="$DEST/$name.mtx"
+  if [ -s "$out" ]; then
+    echo "have   $out" >&2
+    continue
+  fi
+  url="$BASE/$spec.tar.gz"
+  echo "fetch  $url" >&2
+  if ! fetch "$url" "$TMP/$name.tar.gz"; then
+    echo "warn   could not download $spec (offline?); skipping" >&2
+    continue
+  fi
+  tar -xzf "$TMP/$name.tar.gz" -C "$TMP"
+  # The archive contains <name>/<name>.mtx (plus optional auxiliary files).
+  if [ -f "$TMP/$name/$name.mtx" ]; then
+    mv "$TMP/$name/$name.mtx" "$out"
+    echo "wrote  $out" >&2
+  else
+    echo "warn   archive for $spec had no $name.mtx; skipping" >&2
+  fi
+done
+
+echo "corpus directory: $DEST (set MSP_SUITESPARSE_DIR to use another)" >&2
+ls -l "$DEST" >&2

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/dispatch.hpp"
+#include "core/engine.hpp"
 #include "matrix/ops.hpp"
 #include "semiring/semiring.hpp"
 
@@ -23,10 +24,14 @@ struct ClusteringResult {
 };
 
 /// Compute per-vertex triangle participation and clustering coefficients.
-/// `adj` must be a symmetric simple adjacency matrix.
+/// `adj` must be a symmetric simple adjacency matrix. With a non-null
+/// `engine` the masked product T = A ⊙ (A·A) runs through the Engine
+/// facade (plan cached, so repeated calls over the same graph amortize);
+/// without one it runs the planless zero-state path.
 template <class IT, class VT>
 ClusteringResult<IT> clustering_coefficients(const CsrMatrix<IT, VT>& adj,
-                                             Scheme scheme = Scheme::kMsa1P) {
+                                             Scheme scheme = Scheme::kMsa1P,
+                                             Engine* engine = nullptr) {
   if (adj.nrows != adj.ncols) {
     throw invalid_argument_error("clustering_coefficients: square required");
   }
@@ -37,7 +42,10 @@ ClusteringResult<IT> clustering_coefficients(const CsrMatrix<IT, VT>& adj,
   if (n == 0) return result;
 
   const CsrMatrix<IT, VT> a = to_pattern(adj);
-  const CsrMatrix<IT, VT> t = run_scheme<PlusPair<VT>>(scheme, a, a, a);
+  const CsrMatrix<IT, VT> t =
+      engine != nullptr
+          ? engine->multiply_scheme<PlusPair<VT>>(scheme, a, a, a)
+          : run_scheme<PlusPair<VT>>(scheme, a, a, a);
 
   double coeff_sum = 0.0;
   std::int64_t eligible = 0;

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/masked_spmv.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/sparse_vector.hpp"
@@ -33,6 +34,20 @@ struct MinSecond {
 };
 
 static_assert(Semiring<MinSecond<double>>);
+
+/// (min, first) semiring: add = min, multiply returns the left operand —
+/// "propagate the vector's value, keep the smallest". This is the semiring
+/// of label propagation as a masked SpMV: x carries the frontier's labels,
+/// and y[j] = min over frontier in-neighbours of their label.
+template <class T>
+struct MinFirst {
+  using value_type = T;
+  static constexpr T add_identity() { return std::numeric_limits<T>::max(); }
+  static constexpr T add(T a, T b) { return std::min(a, b); }
+  static constexpr T multiply(T a, T /*b*/) { return a; }
+};
+
+static_assert(Semiring<MinFirst<double>>);
 
 template <class IT = index_t>
 struct ComponentsResult {
@@ -77,6 +92,52 @@ ComponentsResult<IT> connected_components(const CsrMatrix<IT, VT>& adj,
     std::sort(changed.begin(), changed.end());
     changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
     frontier = std::move(changed);
+  }
+  return result;
+}
+
+/// Label-propagation connected components through the Engine facade: each
+/// round is literally the masked SpMV the header comment describes —
+/// y = ¬∅ ⊙ (x⊺·A) on the (min, first) semiring, where x holds the
+/// frontier's labels — issued via Engine::spmv_push. A Jacobi-style
+/// counterpart of the scalar `connected_components` above: it may take a
+/// different number of rounds (the scalar loop updates labels eagerly
+/// within a round) but converges to the identical labeling.
+template <class IT, class VT>
+ComponentsResult<IT> connected_components(const CsrMatrix<IT, VT>& adj,
+                                          Engine& engine,
+                                          int max_iterations = 1 << 20) {
+  if (adj.nrows != adj.ncols) {
+    throw invalid_argument_error("connected_components: square required");
+  }
+  const IT n = adj.nrows;
+  ComponentsResult<IT> result;
+  result.label.resize(static_cast<std::size_t>(n));
+  for (IT v = 0; v < n; ++v) result.label[static_cast<std::size_t>(v)] = v;
+  if (n == 0) return result;
+
+  std::vector<IT> frontier(static_cast<std::size_t>(n));
+  for (IT v = 0; v < n; ++v) frontier[static_cast<std::size_t>(v)] = v;
+  const SparseVector<IT, VT> empty_mask(n);  // ¬∅ admits every position
+
+  while (!frontier.empty() && result.iterations < max_iterations) {
+    ++result.iterations;
+    SparseVector<IT, VT> x(n);
+    for (IT v : frontier) {  // frontier is sorted ascending
+      x.push(v, static_cast<VT>(result.label[static_cast<std::size_t>(v)]));
+    }
+    const SparseVector<IT, VT> y = engine.spmv_push<MinFirst<VT>>(
+        x, adj, empty_mask, /*complemented=*/true);
+    std::vector<IT> changed;
+    for (std::size_t p = 0; p < y.nnz(); ++p) {
+      const auto w = static_cast<std::size_t>(y.indices[p]);
+      const IT lv = static_cast<IT>(y.values[p]);
+      if (lv < result.label[w]) {
+        result.label[w] = lv;
+        changed.push_back(y.indices[p]);
+      }
+    }
+    frontier = std::move(changed);  // y (and thus `changed`) is sorted
   }
   return result;
 }

@@ -6,11 +6,18 @@
 // lower-triangular part of the adjacency matrix. The multiplication runs on
 // the plus-pair semiring, so each output entry counts the wedges closed by
 // that edge. Only the Masked SpGEMM is timed, as in the paper.
+//
+// The primary entry points run through the `msp::Engine` facade; passing a
+// pre-bound `BoundMatrix` handle for L additionally skips the per-call
+// pattern fingerprint (the steady-state cost of a service answering
+// repeated counts over one prepared graph). The ExecutionContext*
+// signatures are deprecated shims forwarding to the engine path.
 #pragma once
 
 #include <cstdint>
 
 #include "core/dispatch.hpp"
+#include "core/engine.hpp"
 #include "core/flops.hpp"
 #include "matrix/ops.hpp"
 #include "semiring/semiring.hpp"
@@ -43,29 +50,48 @@ struct TricountResult {
   std::int64_t triangles = 0;
   double spgemm_seconds = 0.0;  ///< Masked SpGEMM time only
   std::int64_t flops = 0;       ///< flops(L·L)
-  PlanUsageStats plan_stats;    ///< setup/symbolic accounting (ctx path)
+  PlanUsageStats plan_stats;    ///< setup/symbolic accounting (engine path)
 };
 
-/// Count triangles with the given Masked SpGEMM scheme. With a non-null
-/// `ctx` the multiply is plan-then-execute: a repeated count over the same
-/// prepared input (the benchmark repetition loop, a service) reuses the
-/// cached plan and skips flops/bounds/symbolic/transpose setup entirely.
+/// Count triangles with the given Masked SpGEMM scheme through the Engine
+/// facade: plan-then-execute with the engine's plan cache and per-thread
+/// scratch. A repeated count over the same prepared input reuses the
+/// cached plan; passing `l` (a handle bound to `input.l`) also skips the
+/// per-call fingerprint.
 template <class IT, class VT>
 TricountResult<IT> triangle_count(const TricountInput<IT, VT>& input,
-                                  Scheme scheme,
-                                  ExecutionContext* ctx = nullptr) {
+                                  Scheme scheme, Engine& engine,
+                                  const BoundMatrix<IT, VT>* l = nullptr) {
   TricountResult<IT> result;
   result.flops = input.flops;
   MaskedSpgemmStats stats;
   Timer timer;
-  const CsrMatrix<IT, VT> c =
-      ctx != nullptr
-          ? run_scheme<PlusPair<VT>>(scheme, input.l, input.l, input.l,
-                                     *ctx, MaskKind::kMask, &stats)
-          : run_scheme_csc<PlusPair<VT>>(scheme, input.l, input.l,
-                                         input.l_csc, input.l);
+  const CsrMatrix<IT, VT> c = engine.multiply_scheme<PlusPair<VT>>(
+      scheme, input.l, input.l, input.l, MaskKind::kMask,
+      MaskSemantics::kStructural, &stats, l, l, l);
   result.spgemm_seconds = timer.seconds();
-  if (ctx != nullptr) result.plan_stats.absorb(stats);
+  result.plan_stats.absorb(stats);
+  result.triangles = static_cast<std::int64_t>(reduce_sum(c));
+  return result;
+}
+
+/// DEPRECATED shim — prefer the Engine overload. With a non-null `ctx`
+/// forwards through a non-owning Engine; without one runs the planless
+/// zero-state path (CSC copy prepared outside the timed region).
+template <class IT, class VT>
+TricountResult<IT> triangle_count(const TricountInput<IT, VT>& input,
+                                  Scheme scheme,
+                                  ExecutionContext* ctx = nullptr) {
+  if (ctx != nullptr) {
+    Engine engine(*ctx);
+    return triangle_count(input, scheme, engine);
+  }
+  TricountResult<IT> result;
+  result.flops = input.flops;
+  Timer timer;
+  const CsrMatrix<IT, VT> c = run_scheme_csc<PlusPair<VT>>(
+      scheme, input.l, input.l, input.l_csc, input.l);
+  result.spgemm_seconds = timer.seconds();
   result.triangles = static_cast<std::int64_t>(reduce_sum(c));
   return result;
 }
@@ -78,29 +104,49 @@ TricountResult<IT> triangle_count(const CsrMatrix<IT, VT>& adj,
   return triangle_count(tricount_prepare(adj), scheme, ctx);
 }
 
+/// Convenience engine overload: prepare + count in one call.
+template <class IT, class VT>
+TricountResult<IT> triangle_count(const CsrMatrix<IT, VT>& adj, Scheme scheme,
+                                  Engine& engine) {
+  return triangle_count(tricount_prepare(adj), scheme, engine);
+}
+
 /// Multi-mask triangle support: for each query mask Mq (nrows×nrows, like
 /// L), sum(Mq ⊙ (L·L)) counts the wedges of L closed inside Mq's edge set —
 /// the per-subgraph/per-query flavour of triangle counting a multi-mask
-/// service answers against one prepared graph. With a non-null `ctx` the
-/// whole batch runs through ExecutionContext::multiply_batch: L is
-/// fingerprinted once, the flops vector and (for Inner) L's transpose are
-/// shared across all query plans, and one global flops-binned partition
-/// load-balances the batch. Bit-identical to counting each mask separately.
+/// service answers against one prepared graph. The whole batch runs
+/// through Engine::multiply_batch: L is fingerprinted once, the flops
+/// vector and (for Inner) L's transpose are shared across all query plans,
+/// and one global flops-binned partition load-balances the batch.
+/// Bit-identical to counting each mask separately.
+template <class IT, class VT>
+std::vector<std::int64_t> triangle_support_batch(
+    const TricountInput<IT, VT>& input,
+    const std::vector<const CsrMatrix<IT, VT>*>& masks, Scheme scheme,
+    Engine& engine) {
+  std::vector<std::int64_t> support;
+  support.reserve(masks.size());
+  const auto cs =
+      engine.multiply_batch<PlusPair<VT>>(scheme, input.l, input.l, masks);
+  for (const auto& c : cs) {
+    support.push_back(static_cast<std::int64_t>(reduce_sum(c)));
+  }
+  return support;
+}
+
+/// DEPRECATED shim — prefer the Engine overload. Without a context the
+/// masks are answered sequentially through the planless path.
 template <class IT, class VT>
 std::vector<std::int64_t> triangle_support_batch(
     const TricountInput<IT, VT>& input,
     const std::vector<const CsrMatrix<IT, VT>*>& masks,
     Scheme scheme = Scheme::kMsa1P, ExecutionContext* ctx = nullptr) {
+  if (ctx != nullptr) {
+    Engine engine(*ctx);
+    return triangle_support_batch(input, masks, scheme, engine);
+  }
   std::vector<std::int64_t> support;
   support.reserve(masks.size());
-  if (ctx != nullptr) {
-    const auto cs = run_scheme_batch<PlusPair<VT>>(scheme, input.l, input.l,
-                                                   masks, *ctx);
-    for (const auto& c : cs) {
-      support.push_back(static_cast<std::int64_t>(reduce_sum(c)));
-    }
-    return support;
-  }
   for (const CsrMatrix<IT, VT>* m : masks) {
     const auto c = run_scheme<PlusPair<VT>>(scheme, input.l, input.l, *m);
     support.push_back(static_cast<std::int64_t>(reduce_sum(c)));

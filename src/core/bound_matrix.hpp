@@ -1,0 +1,171 @@
+// Bound-operand handles for the Engine facade (core/engine.hpp).
+//
+// A `BoundMatrix` pins the per-operand state that the plan/execute split
+// otherwise re-derives on every call to the handle itself:
+//
+//  * the 64-bit pattern fingerprint (and, lazily, the valued-semantics
+//    fingerprint that also folds in the zero/nonzero status of stored
+//    values) — so a service's steady-state calls skip the O(nnz) hash of
+//    each operand that ExecutionContext::multiply pays per call;
+//  * the per-row flops vectors of `this · B`, keyed by the partner's
+//    fingerprint — so a plan-cache miss (new mask over known operands)
+//    rebuilds its plan without recounting A·B;
+//  * the CSC-transpose cache used by the pull-based Inner kernels — the
+//    transpose *structure* is built once per handle and injected into
+//    every plan that needs it, and the O(nnz) value re-gather is skipped
+//    while the handle's values version is unchanged (bumped by
+//    `values_changed()`), so steady-state Inner calls copy nothing.
+//
+// Handles are cheap shared-state values: copies of a handle share one
+// cache. The handle does NOT own the matrix — the caller keeps it alive.
+//
+// Contract (the price of skipping per-call fingerprints and gathers):
+// after mutating the bound matrix **in place**, tell the handle —
+//
+//  * values changed, pattern identical  → `values_changed()` (refreshes
+//    the valued-semantics fingerprint and the cached transpose values on
+//    the next execution);
+//  * pattern changed (or a different matrix) → `rebind(m)` (recomputes
+//    everything).
+//
+// Failing to call `rebind` after a pattern change makes the cached
+// fingerprint stale and can silently serve a plan for the old pattern —
+// exactly the hazard the per-call hashing of the raw path exists to
+// avoid. Use raw `CsrMatrix` operands when patterns churn every call
+// (e.g. k-truss iterations); use handles when they are stable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/flops.hpp"
+#include "core/plan.hpp"
+#include "matrix/csr.hpp"
+#include "util/common.hpp"
+
+namespace msp {
+
+template <class IT, class VT>
+class BoundMatrix {
+ public:
+  /// An unbound handle; `bound()` is false until `rebind`.
+  BoundMatrix() = default;
+
+  /// Bind to `m`, fingerprinting its pattern eagerly (the one hash this
+  /// handle exists to amortize). `m` must outlive the handle.
+  explicit BoundMatrix(const CsrMatrix<IT, VT>& m) { rebind(m); }
+
+  [[nodiscard]] bool bound() const { return state_ != nullptr; }
+
+  [[nodiscard]] const CsrMatrix<IT, VT>& matrix() const {
+    MSP_ASSERT(bound());
+    return *state_->matrix;
+  }
+
+  /// The cached pattern fingerprint (shape + rowptr + colids).
+  [[nodiscard]] std::uint64_t fingerprint() const {
+    MSP_ASSERT(bound());
+    return state_->fp_pattern;
+  }
+
+  /// The valued-semantics fingerprint (pattern + zero/nonzero bitmap of
+  /// the stored values), computed on first use and cached until
+  /// values_changed()/rebind(). This is what a *valued* mask hashes to.
+  [[nodiscard]] std::uint64_t valued_fingerprint() const {
+    MSP_ASSERT(bound());
+    if (!state_->has_valued_fp) {
+      state_->fp_valued = pattern_fingerprint(*state_->matrix, true);
+      state_->has_valued_fp = true;
+    }
+    return state_->fp_valued;
+  }
+
+  /// The stored values changed but the pattern did not: drop the cached
+  /// valued fingerprint (recomputed lazily) and bump the values version so
+  /// the next execution re-gathers any cached transpose values. Flops and
+  /// the pattern fingerprint are pattern-only and stay valid.
+  void values_changed() {
+    MSP_ASSERT(bound());
+    state_->has_valued_fp = false;
+    state_->values_version = next_values_version();
+  }
+
+  /// Identifier of the current in-place values state, drawn from one
+  /// process-global counter (fresh on bind, replaced by values_changed) —
+  /// globally unique, so two handles over pattern-identical matrices with
+  /// different values can never present the same version to a shared
+  /// transpose cache. Nonzero by construction — 0 is the "no version
+  /// known" sentinel of the raw path.
+  [[nodiscard]] std::uint64_t values_version() const {
+    MSP_ASSERT(bound());
+    return state_->values_version;
+  }
+
+  /// Bind to `m` (possibly the same object after a pattern mutation),
+  /// recomputing the fingerprint and dropping every cache. Copies of this
+  /// handle made before rebind keep the old state.
+  void rebind(const CsrMatrix<IT, VT>& m) {
+    state_ = std::make_shared<State>();
+    state_->matrix = &m;
+    state_->fp_pattern = pattern_fingerprint(m, false);
+    state_->values_version = next_values_version();
+  }
+
+  /// Per-row flops of `matrix() · b`, cached per partner fingerprint `fb`
+  /// (a handful of partners per handle; FIFO beyond that). Shared with
+  /// plans so a miss never recounts.
+  [[nodiscard]] std::shared_ptr<const std::vector<std::int64_t>> flops_with(
+      const CsrMatrix<IT, VT>& b, std::uint64_t fb) const {
+    MSP_ASSERT(bound());
+    for (const auto& entry : state_->flops_by_partner) {
+      if (entry.first == fb) return entry.second;
+    }
+    auto flops = std::make_shared<const std::vector<std::int64_t>>(
+        row_flops(*state_->matrix, b));
+    if (state_->flops_by_partner.size() >= kMaxFlopsPartners) {
+      state_->flops_by_partner.erase(state_->flops_by_partner.begin());
+    }
+    state_->flops_by_partner.emplace_back(fb, flops);
+    return flops;
+  }
+
+  /// The handle's transpose cache (created empty on first use); plans
+  /// adopt it so the CSC structure of this matrix is built once per
+  /// handle, not once per plan.
+  [[nodiscard]] std::shared_ptr<CscTransposeCache<IT, VT>> csc_cache()
+      const {
+    MSP_ASSERT(bound());
+    if (state_->csc == nullptr) {
+      state_->csc = std::make_shared<CscTransposeCache<IT, VT>>();
+    }
+    return state_->csc;
+  }
+
+ private:
+  static constexpr std::size_t kMaxFlopsPartners = 8;
+
+  static std::uint64_t next_values_version() {
+    static std::atomic<std::uint64_t> counter{0};
+    return ++counter;
+  }
+
+  struct State {
+    const CsrMatrix<IT, VT>* matrix = nullptr;
+    std::uint64_t fp_pattern = 0;
+    std::uint64_t fp_valued = 0;
+    std::uint64_t values_version = 0;
+    bool has_valued_fp = false;
+    std::shared_ptr<CscTransposeCache<IT, VT>> csc;
+    std::vector<
+        std::pair<std::uint64_t,
+                  std::shared_ptr<const std::vector<std::int64_t>>>>
+        flops_by_partner;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace msp

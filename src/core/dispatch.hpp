@@ -1,135 +1,48 @@
-// Scheme registry: the paper's 14 evaluated configurations (§8) behind one
-// uniform call interface, so the benchmark harness and tests can iterate
-// over them by name exactly as the paper's plots do.
+// DEPRECATED free-function dispatch shims.
+//
+// The Scheme registry itself lives in core/scheme.hpp and the primary
+// entry point is the `msp::Engine` facade (core/engine.hpp): bound-operand
+// handles, the fluent builder, and the type-erased `multiply_dyn` runtime
+// path. The free functions below are kept as thin shims so existing
+// callers keep compiling — each one forwards into the same facade/context
+// path and produces bit-identical results — but new code should call the
+// Engine directly:
+//
+//   run_scheme(s, a, b, m, ctx, ...)   →  Engine(ctx).multiply(a, b)
+//                                             .mask(m)...scheme(s).run()
+//   run_scheme(s, a, b, m, kind)       →  planless masked_multiply (no
+//                                         context: zero-state path)
+//   run_scheme_batch(...)              →  Engine::multiply_batch
+//
+// All overloads reject unsupported (scheme, mask kind) combinations with
+// a typed unsupported_scheme_error naming the scheme (core/scheme.hpp).
 #pragma once
 
-#include <string_view>
 #include <vector>
 
 #include "core/baseline.hpp"
-#include "core/exec_context.hpp"
+#include "core/engine.hpp"
 #include "core/masked_spgemm.hpp"
+#include "core/scheme.hpp"
 #include "matrix/ops.hpp"
 
 namespace msp {
 
-/// Every scheme of paper §8: {MSA, Hash, MCA, Heap, HeapDot, Inner} ×
-/// {1P, 2P} plus the two SuiteSparse:GraphBLAS-style baselines.
-enum class Scheme {
-  kMsa1P,
-  kMsa2P,
-  kHash1P,
-  kHash2P,
-  kMca1P,
-  kMca2P,
-  kHeap1P,
-  kHeap2P,
-  kHeapDot1P,
-  kHeapDot2P,
-  kInner1P,
-  kInner2P,
-  kSsDot,
-  kSsSaxpy,
-};
-
-inline std::string_view scheme_name(Scheme s) {
-  switch (s) {
-    case Scheme::kMsa1P: return "MSA-1P";
-    case Scheme::kMsa2P: return "MSA-2P";
-    case Scheme::kHash1P: return "Hash-1P";
-    case Scheme::kHash2P: return "Hash-2P";
-    case Scheme::kMca1P: return "MCA-1P";
-    case Scheme::kMca2P: return "MCA-2P";
-    case Scheme::kHeap1P: return "Heap-1P";
-    case Scheme::kHeap2P: return "Heap-2P";
-    case Scheme::kHeapDot1P: return "HeapDot-1P";
-    case Scheme::kHeapDot2P: return "HeapDot-2P";
-    case Scheme::kInner1P: return "Inner-1P";
-    case Scheme::kInner2P: return "Inner-2P";
-    case Scheme::kSsDot: return "SS:DOT";
-    case Scheme::kSsSaxpy: return "SS:SAXPY";
-  }
-  return "?";
-}
-
-/// The 12 schemes proposed in the paper (Fig. 8's line-up).
-inline std::vector<Scheme> our_schemes() {
-  return {Scheme::kMsa1P,     Scheme::kMsa2P,  Scheme::kHash1P,
-          Scheme::kHash2P,    Scheme::kMca1P,  Scheme::kMca2P,
-          Scheme::kHeap1P,    Scheme::kHeap2P, Scheme::kHeapDot1P,
-          Scheme::kHeapDot2P, Scheme::kInner1P, Scheme::kInner2P};
-}
-
-/// All 14 schemes including baselines.
-inline std::vector<Scheme> all_schemes() {
-  auto v = our_schemes();
-  v.push_back(Scheme::kSsDot);
-  v.push_back(Scheme::kSsSaxpy);
-  return v;
-}
-
-/// True if the scheme can execute with a complemented mask (MCA and the
-/// paper's MCA-based results exclude complement; see §8.4).
-inline bool scheme_supports_complement(Scheme s) {
-  return s != Scheme::kMca1P && s != Scheme::kMca2P;
-}
-
-/// Decompose a scheme into dispatcher options (baselines return false).
-inline bool scheme_to_options(Scheme s, MaskedSpgemmOptions& opt) {
-  switch (s) {
-    case Scheme::kMsa1P:
-    case Scheme::kMsa2P:
-      opt.algorithm = MaskedAlgorithm::kMsa;
-      break;
-    case Scheme::kHash1P:
-    case Scheme::kHash2P:
-      opt.algorithm = MaskedAlgorithm::kHash;
-      break;
-    case Scheme::kMca1P:
-    case Scheme::kMca2P:
-      opt.algorithm = MaskedAlgorithm::kMca;
-      break;
-    case Scheme::kHeap1P:
-    case Scheme::kHeap2P:
-      opt.algorithm = MaskedAlgorithm::kHeap;
-      break;
-    case Scheme::kHeapDot1P:
-    case Scheme::kHeapDot2P:
-      opt.algorithm = MaskedAlgorithm::kHeapDot;
-      break;
-    case Scheme::kInner1P:
-    case Scheme::kInner2P:
-      opt.algorithm = MaskedAlgorithm::kInner;
-      break;
-    case Scheme::kSsDot:
-    case Scheme::kSsSaxpy:
-      return false;
-  }
-  switch (s) {
-    case Scheme::kMsa2P:
-    case Scheme::kHash2P:
-    case Scheme::kMca2P:
-    case Scheme::kHeap2P:
-    case Scheme::kHeapDot2P:
-    case Scheme::kInner2P:
-      opt.phase = MaskedPhase::kTwoPhase;
-      break;
-    default:
-      opt.phase = MaskedPhase::kOnePhase;
-      break;
-  }
-  return true;
-}
-
-/// Run one scheme: C = M ⊙ (A·B) (or complemented). Uniform entry point for
-/// benches and cross-scheme agreement tests.
+/// DEPRECATED shim — prefer the Engine builder. Run one scheme planless:
+/// C = M ⊙ (A·B) (or complemented). `kAuto` resolves through the same
+/// flops-density heuristic the Engine uses.
 template <Semiring SR, class IT, class VT, class MT>
 CsrMatrix<IT, VT> run_scheme(Scheme s, const CsrMatrix<IT, VT>& a,
                              const CsrMatrix<IT, VT>& b,
                              const CsrMatrix<IT, MT>& m,
                              MaskKind kind = MaskKind::kMask) {
+  require_scheme_supports(s, kind);
   MaskedSpgemmOptions opt;
   opt.mask_kind = kind;
+  if (s == Scheme::kAuto) {
+    opt = auto_scheme_options(total_flops(a, b), m.nnz(), kind);
+    return masked_multiply<SR>(a, b, m, opt);
+  }
   if (scheme_to_options(s, opt)) {
     return masked_multiply<SR>(a, b, m, opt);
   }
@@ -137,12 +50,10 @@ CsrMatrix<IT, VT> run_scheme(Scheme s, const CsrMatrix<IT, VT>& a,
   return baseline_saxpy<SR>(a, b, m, kind);
 }
 
-/// Run one scheme through an ExecutionContext — the plan-then-execute
-/// counterpart of run_scheme. The twelve paper schemes go through the
-/// context's keyed plan cache (repeated calls on unchanged patterns reuse
-/// flops/bounds/symbolic structure/transpose and per-thread scratch); the
-/// SS-style baselines have no plan concept and run planless, with the
-/// valued-semantics reduction applied here.
+/// DEPRECATED shim — prefer the Engine builder. Run one scheme through an
+/// ExecutionContext; forwards to the Engine facade's typed core (plan
+/// cache, per-thread scratch, planless baselines with the plan-derived
+/// stats fields filled).
 template <Semiring SR, class IT, class VT, class MT>
 CsrMatrix<IT, VT> run_scheme(Scheme s, const CsrMatrix<IT, VT>& a,
                              const CsrMatrix<IT, VT>& b,
@@ -152,30 +63,12 @@ CsrMatrix<IT, VT> run_scheme(Scheme s, const CsrMatrix<IT, VT>& a,
                              MaskedSpgemmStats* stats = nullptr,
                              MaskSemantics semantics =
                                  MaskSemantics::kStructural) {
-  MaskedSpgemmOptions opt;
-  opt.mask_kind = kind;
-  opt.stats = stats;
-  opt.mask_semantics = semantics;
-  if (scheme_to_options(s, opt)) {
-    return ctx.multiply<SR>(a, b, m, opt);
-  }
-  // Baselines fill the plan-derived stats fields the callers rely on
-  // (ktruss reads total_flops) even though they execute planless.
-  if (stats != nullptr) stats->total_flops = total_flops(a, b);
-  if (semantics == MaskSemantics::kValued) {
-    const CsrMatrix<IT, MT> held = drop_explicit_zeros(m);
-    return s == Scheme::kSsDot ? baseline_dot<SR>(a, b, held, kind)
-                               : baseline_saxpy<SR>(a, b, held, kind);
-  }
-  if (s == Scheme::kSsDot) return baseline_dot<SR>(a, b, m, kind);
-  return baseline_saxpy<SR>(a, b, m, kind);
+  Engine engine(ctx);
+  return engine.multiply_scheme<SR>(s, a, b, m, kind, semantics, stats);
 }
 
-/// Batched counterpart of the context overload of run_scheme: N masks
-/// against one A·B. The twelve paper schemes go through
-/// ExecutionContext::multiply_batch (shared fingerprints/flops/transpose,
-/// one global partition); the SS-style baselines have no plan concept and
-/// simply loop. Results are bit-identical to N sequential run_scheme calls.
+/// DEPRECATED shim — prefer Engine::multiply_batch. N masks against one
+/// A·B through the context's batched path (baselines loop).
 template <Semiring SR, class IT, class VT, class MT>
 std::vector<CsrMatrix<IT, VT>> run_scheme_batch(
     Scheme s, const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
@@ -183,23 +76,13 @@ std::vector<CsrMatrix<IT, VT>> run_scheme_batch(
     ExecutionContext& ctx, MaskKind kind = MaskKind::kMask,
     MaskedSpgemmStats* stats = nullptr,
     MaskSemantics semantics = MaskSemantics::kStructural) {
-  MaskedSpgemmOptions opt;
-  opt.mask_kind = kind;
-  opt.stats = stats;
-  opt.mask_semantics = semantics;
-  if (scheme_to_options(s, opt)) {
-    return ctx.multiply_batch<SR>(a, b, masks, opt);
-  }
-  std::vector<CsrMatrix<IT, VT>> outs;
-  outs.reserve(masks.size());
-  for (const CsrMatrix<IT, MT>* m : masks) {
-    outs.push_back(
-        run_scheme<SR>(s, a, b, *m, ctx, kind, stats, semantics));
-  }
-  return outs;
+  Engine engine(ctx);
+  return engine.multiply_batch<SR>(s, a, b, masks, kind, semantics, stats);
 }
 
-/// Like run_scheme, but with a pre-transposed copy of B for the pull-based
+/// DEPRECATED shim — prefer the Engine builder with a bound B handle
+/// (whose CSC-transpose cache serves the same purpose). Like the planless
+/// run_scheme, but with a pre-transposed copy of B for the pull-based
 /// Inner schemes (the paper stores B in CSC for those; the transpose is
 /// preparation, not part of the measured multiply). SS:DOT deliberately
 /// ignores `b_csc` — its per-call transpose is part of the baseline's
@@ -210,6 +93,7 @@ CsrMatrix<IT, VT> run_scheme_csc(Scheme s, const CsrMatrix<IT, VT>& a,
                                  const CscMatrix<IT, VT>& b_csc,
                                  const CsrMatrix<IT, MT>& m,
                                  MaskKind kind = MaskKind::kMask) {
+  require_scheme_supports(s, kind);
   if (s == Scheme::kInner1P || s == Scheme::kInner2P) {
     MaskedSpgemmOptions opt;
     opt.mask_kind = kind;

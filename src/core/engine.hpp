@@ -1,0 +1,590 @@
+// The `msp::Engine` facade: one stable front door for every masked-product
+// configuration the library supports.
+//
+// The paper's 14 evaluated configurations (core/scheme.hpp) used to be
+// reachable only through template-heavy plumbing — every caller hand-wired
+// (Scheme, MaskedSpgemmOptions, ExecutionContext*) and re-derived per-
+// operand state the plan layer already caches. The Engine owns the
+// `ExecutionContext` (plan cache + per-thread scratch) and splits the API
+// the way mature graph frameworks split graph handles from algorithm
+// invocation:
+//
+//  * `BoundMatrix` operand handles (core/bound_matrix.hpp) pin an
+//    operand's fingerprint, per-row flops, and CSC-transpose cache to the
+//    handle, so repeated calls never re-fingerprint — the sharing that
+//    `multiply_batch` applies within one call becomes the default across
+//    calls for every caller;
+//  * a fluent builder for compile-time-typed callers:
+//
+//        Engine engine;
+//        auto c = engine.multiply(a, b)
+//                     .mask(m)
+//                     .complement()
+//                     .semiring<PlusTimes>()
+//                     .scheme(Scheme::kAuto)
+//                     .run();
+//
+//  * a type-erased runtime path, `engine.multiply_dyn(a, b, m, cfg)`,
+//    taking `SemiringId` / `Scheme` / `IndexWidth` enums, so services and
+//    the bench harness dispatch one runtime-described configuration
+//    through one function instead of a template cross-product;
+//  * `Scheme::kAuto` as the runtime-selection seam (documented
+//    flops-density heuristic over the per-row adaptive kernel; see
+//    auto_scheme_options) where the future tuning model plugs in.
+//
+// Both the builder and the dyn path produce results bit-identical to the
+// pre-existing `masked_multiply` / `run_scheme` paths — the engine
+// conformance suite (tests/test_engine.cpp) pins all of them to the same
+// baseline. The legacy free functions in core/dispatch.hpp survive as
+// thin deprecated shims forwarding here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/baseline.hpp"
+#include "core/bound_matrix.hpp"
+#include "core/exec_context.hpp"
+#include "core/flops.hpp"
+#include "core/masked_spmv.hpp"
+#include "core/scheme.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/sparse_vector.hpp"
+#include "semiring/semiring.hpp"
+#include "util/common.hpp"
+
+namespace msp {
+
+/// Runtime identifiers for the built-in semirings (semiring/semiring.hpp),
+/// so a service can name one in a request instead of instantiating a
+/// template. Custom semirings keep using the typed builder.
+enum class SemiringId {
+  kPlusTimes,
+  kOrAnd,
+  kMinPlus,
+  kPlusFirst,
+  kPlusSecond,
+  kPlusPair,
+};
+
+inline const char* semiring_id_name(SemiringId id) {
+  switch (id) {
+    case SemiringId::kPlusTimes: return "plus_times";
+    case SemiringId::kOrAnd: return "or_and";
+    case SemiringId::kMinPlus: return "min_plus";
+    case SemiringId::kPlusFirst: return "plus_first";
+    case SemiringId::kPlusSecond: return "plus_second";
+    case SemiringId::kPlusPair: return "plus_pair";
+  }
+  return "?";
+}
+
+/// Runtime index-width tag for type-erased requests. `kAny` skips the
+/// check; a concrete width is validated against the instantiated IT so a
+/// service wired for 64-bit ids cannot silently run a 32-bit kernel.
+enum class IndexWidth {
+  kAny,
+  k32,
+  k64,
+};
+
+template <class IT>
+constexpr IndexWidth index_width_of() {
+  static_assert(sizeof(IT) == 4 || sizeof(IT) == 8,
+                "index types are 32- or 64-bit");
+  return sizeof(IT) == 4 ? IndexWidth::k32 : IndexWidth::k64;
+}
+
+/// One runtime-described configuration for Engine::multiply_dyn — the
+/// type-erased counterpart of the fluent builder.
+struct DynConfig {
+  SemiringId semiring = SemiringId::kPlusTimes;
+  Scheme scheme = Scheme::kAuto;
+  MaskKind mask_kind = MaskKind::kMask;
+  MaskSemantics mask_semantics = MaskSemantics::kStructural;
+  IndexWidth index_width = IndexWidth::kAny;
+  MaskedSpgemmStats* stats = nullptr;
+};
+
+template <class IT, class VT>
+class MultiplyStart;
+
+template <Semiring SR, class IT, class VT, class MT>
+class MultiplyBuilder;
+
+class Engine {
+ public:
+  /// A self-contained engine owning its ExecutionContext. `max_plans`
+  /// bounds the plan cache exactly as in ExecutionContext.
+  explicit Engine(std::size_t max_plans = 64)
+      : owned_(std::make_unique<ExecutionContext>(max_plans)),
+        ctx_(owned_.get()) {}
+
+  /// A non-owning view over an external context — how the deprecated
+  /// free-function shims (core/dispatch.hpp) and callers migrating one
+  /// layer at a time route through the facade without moving their
+  /// context's ownership.
+  explicit Engine(ExecutionContext& external) : ctx_(&external) {}
+
+  [[nodiscard]] ExecutionContext& context() { return *ctx_; }
+  [[nodiscard]] const ExecutionContext::CacheStats& cache_stats() const {
+    return ctx_->cache_stats();
+  }
+  [[nodiscard]] std::size_t plan_count() const { return ctx_->plan_count(); }
+  void clear() { ctx_->clear(); }
+  void reset_stats() { ctx_->reset_stats(); }
+
+  /// Bind an operand, pinning its fingerprint/flops/transpose caches to
+  /// the returned handle. See bound_matrix.hpp for the mutation contract.
+  /// Binding a temporary is deleted — the handle stores a reference and
+  /// the caller must keep the matrix alive.
+  template <class IT, class VT>
+  [[nodiscard]] BoundMatrix<IT, VT> bind(const CsrMatrix<IT, VT>& m) const {
+    return BoundMatrix<IT, VT>(m);
+  }
+  template <class IT, class VT>
+  BoundMatrix<IT, VT> bind(CsrMatrix<IT, VT>&&) const = delete;
+
+  // --- fluent builder -----------------------------------------------------
+
+  /// Start a fluent multiply: engine.multiply(a, b).mask(m)... — operands
+  /// may be raw matrices (fingerprinted per call, always safe) or bound
+  /// handles (cached state, the steady-state service path). The builder
+  /// stores references, so passing a temporary matrix is deleted: it would
+  /// die before .run() and dangle.
+  template <class IT, class VT>
+  MultiplyStart<IT, VT> multiply(const CsrMatrix<IT, VT>& a,
+                                 const CsrMatrix<IT, VT>& b);
+  template <class IT, class VT>
+  MultiplyStart<IT, VT> multiply(const BoundMatrix<IT, VT>& a,
+                                 const BoundMatrix<IT, VT>& b);
+  template <class IT, class VT>
+  MultiplyStart<IT, VT> multiply(const BoundMatrix<IT, VT>& a,
+                                 const CsrMatrix<IT, VT>& b);
+  template <class IT, class VT>
+  MultiplyStart<IT, VT> multiply(const CsrMatrix<IT, VT>& a,
+                                 const BoundMatrix<IT, VT>& b);
+  template <class IT, class VT, class B>
+  MultiplyStart<IT, VT> multiply(CsrMatrix<IT, VT>&&, const B&) = delete;
+  template <class IT, class VT, class A>
+  MultiplyStart<IT, VT> multiply(const A&, CsrMatrix<IT, VT>&&) = delete;
+
+  // --- typed scheme execution ---------------------------------------------
+
+  /// Execute one scheme: C = M ⊙ (A·B) (or complemented). The typed core
+  /// that the builder, multiply_dyn, and the legacy run_scheme shims all
+  /// funnel into. The twelve paper schemes run plan-then-execute through
+  /// the context (hinted with whatever bound-operand state is supplied);
+  /// `kAuto` resolves per call via the flops-density heuristic; the
+  /// SS-style baselines run planless with the valued-semantics reduction
+  /// applied here. Throws unsupported_scheme_error for configurations the
+  /// scheme cannot execute (complemented MCA).
+  template <Semiring SR, class IT, class VT, class MT>
+  CsrMatrix<IT, VT> multiply_scheme(
+      Scheme scheme, const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+      const CsrMatrix<IT, MT>& m, MaskKind kind = MaskKind::kMask,
+      MaskSemantics semantics = MaskSemantics::kStructural,
+      MaskedSpgemmStats* stats = nullptr,
+      const std::type_identity_t<BoundMatrix<IT, VT>>* a_handle = nullptr,
+      const std::type_identity_t<BoundMatrix<IT, VT>>* b_handle = nullptr,
+      const std::type_identity_t<BoundMatrix<IT, MT>>* m_handle = nullptr) {
+    require_scheme_supports(scheme, kind);
+
+    // Baselines: planless, mirroring the legacy run_scheme context
+    // overload (stats still receive the flops the iterative apps read).
+    if (scheme == Scheme::kSsDot || scheme == Scheme::kSsSaxpy) {
+      if (stats != nullptr) stats->total_flops = total_flops(a, b);
+      if (semantics == MaskSemantics::kValued) {
+        const CsrMatrix<IT, MT> held = drop_explicit_zeros(m);
+        return scheme == Scheme::kSsDot ? baseline_dot<SR>(a, b, held, kind)
+                                        : baseline_saxpy<SR>(a, b, held, kind);
+      }
+      return scheme == Scheme::kSsDot ? baseline_dot<SR>(a, b, m, kind)
+                                      : baseline_saxpy<SR>(a, b, m, kind);
+    }
+
+    // A handle must be bound to the very operand object it accompanies —
+    // a mismatched handle would key the plan cache with a fingerprint of
+    // some other pattern and silently serve the wrong plan. O(1) pointer
+    // check, enforced in every build mode.
+    SpgemmOperandHints<IT, VT> hints;
+    bool any_hint = false;
+    if (a_handle != nullptr && a_handle->bound()) {
+      if (&a_handle->matrix() != &a) {
+        throw invalid_argument_error(
+            "Engine: A handle is not bound to the A operand");
+      }
+      hints.fa = a_handle->fingerprint();
+      any_hint = true;
+    }
+    if (b_handle != nullptr && b_handle->bound()) {
+      if (&b_handle->matrix() != &b) {
+        throw invalid_argument_error(
+            "Engine: B handle is not bound to the B operand");
+      }
+      hints.fb = b_handle->fingerprint();
+      any_hint = true;
+    }
+    if (m_handle != nullptr && m_handle->bound()) {
+      if (&m_handle->matrix() != &m) {
+        throw invalid_argument_error(
+            "Engine: mask handle is not bound to the mask operand");
+      }
+      hints.fm = semantics == MaskSemantics::kValued
+                     ? m_handle->valued_fingerprint()
+                     : m_handle->fingerprint();
+      any_hint = true;
+    }
+    if (a_handle != nullptr && hints.fa.has_value() &&
+        hints.fb.has_value()) {
+      hints.flops = a_handle->flops_with(b, *hints.fb);
+    }
+
+    MaskedSpgemmOptions opt;
+    opt.mask_kind = kind;
+    opt.mask_semantics = semantics;
+    opt.stats = stats;
+    if (scheme == Scheme::kAuto) {
+      std::int64_t flops_total = 0;
+      if (hints.flops != nullptr) {
+        for (std::int64_t f : *hints.flops) flops_total += f;
+      } else {
+        flops_total = total_flops(a, b);
+      }
+      const MaskedSpgemmOptions resolved =
+          auto_scheme_options(flops_total, m.nnz(), kind);
+      opt.algorithm = resolved.algorithm;
+      opt.phase = resolved.phase;
+    } else {
+      scheme_to_options(scheme, opt);
+    }
+    if (opt.algorithm == MaskedAlgorithm::kInner && b_handle != nullptr &&
+        b_handle->bound()) {
+      hints.b_csc = b_handle->csc_cache();
+      hints.b_values_version = b_handle->values_version();
+      any_hint = true;
+    }
+    return ctx_->multiply<SR>(a, b, m, opt, any_hint ? &hints : nullptr);
+  }
+
+  /// Batched counterpart: N masks against one A·B through the context's
+  /// multiply_batch (shared fingerprints/flops/transpose, one global
+  /// partition); the SS-style baselines have no plan concept and loop.
+  /// Bit-identical to N sequential multiply_scheme calls.
+  template <Semiring SR, class IT, class VT, class MT>
+  std::vector<CsrMatrix<IT, VT>> multiply_batch(
+      Scheme scheme, const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+      const std::vector<const CsrMatrix<IT, MT>*>& masks,
+      MaskKind kind = MaskKind::kMask,
+      MaskSemantics semantics = MaskSemantics::kStructural,
+      MaskedSpgemmStats* stats = nullptr) {
+    require_scheme_supports(scheme, kind);
+    MaskedSpgemmOptions opt;
+    opt.mask_kind = kind;
+    opt.mask_semantics = semantics;
+    opt.stats = stats;
+    if (scheme == Scheme::kAuto) {
+      // One routing decision for the whole batch, from the average mask.
+      std::size_t mask_nnz = 0;
+      for (const CsrMatrix<IT, MT>* m : masks) {
+        if (m != nullptr) mask_nnz += m->nnz();
+      }
+      if (!masks.empty()) mask_nnz /= masks.size();
+      const MaskedSpgemmOptions resolved =
+          auto_scheme_options(total_flops(a, b), mask_nnz, kind);
+      opt.algorithm = resolved.algorithm;
+      opt.phase = resolved.phase;
+    } else if (!scheme_to_options(scheme, opt)) {
+      std::vector<CsrMatrix<IT, VT>> outs;
+      outs.reserve(masks.size());
+      for (const CsrMatrix<IT, MT>* m : masks) {
+        outs.push_back(
+            multiply_scheme<SR>(scheme, a, b, *m, kind, semantics, stats));
+      }
+      return outs;
+    }
+    return ctx_->multiply_batch<SR>(a, b, masks, opt);
+  }
+
+  // --- type-erased runtime path -------------------------------------------
+
+  /// Run one runtime-described configuration: semiring, scheme, mask kind
+  /// and semantics all chosen by enum value. This is the single function a
+  /// service's request handler or the bench harness dispatches through.
+  template <class IT, class VT, class MT>
+  CsrMatrix<IT, VT> multiply_dyn(const CsrMatrix<IT, VT>& a,
+                                 const CsrMatrix<IT, VT>& b,
+                                 const CsrMatrix<IT, MT>& m,
+                                 const DynConfig& cfg = {}) {
+    return dyn_dispatch<IT, VT, MT>(cfg, a, b, m, nullptr, nullptr, nullptr);
+  }
+
+  /// Bound-handle overload: the steady-state service path — runtime
+  /// configuration, cached operand state.
+  template <class IT, class VT, class MT>
+  CsrMatrix<IT, VT> multiply_dyn(const BoundMatrix<IT, VT>& a,
+                                 const BoundMatrix<IT, VT>& b,
+                                 const BoundMatrix<IT, MT>& m,
+                                 const DynConfig& cfg = {}) {
+    return dyn_dispatch<IT, VT, MT>(cfg, a.matrix(), b.matrix(), m.matrix(),
+                                    &a, &b, &m);
+  }
+
+  // --- masked SpMV passthrough --------------------------------------------
+
+  /// Facade passthroughs for the masked SpMV primitives, so vector-driven
+  /// services (direction-optimized BFS, label propagation) go through the
+  /// same front door as the matrix products. Stateless today; the seam
+  /// where SpMV planning/caching would land.
+  template <Semiring SR, class IT, class VT, class MT>
+  SparseVector<IT, VT> spmv_push(const SparseVector<IT, VT>& x,
+                                 const CsrMatrix<IT, VT>& a,
+                                 const SparseVector<IT, MT>& m,
+                                 bool complemented = false) const {
+    return masked_spmv_push<SR>(x, a, m, complemented);
+  }
+
+  template <Semiring SR, class IT, class VT, class MT>
+  SparseVector<IT, VT> spmv_pull(const SparseVector<IT, VT>& x,
+                                 const CscMatrix<IT, VT>& a,
+                                 const SparseVector<IT, MT>& m,
+                                 bool complemented = false,
+                                 bool early_exit = false) const {
+    return masked_spmv_pull<SR>(x, a, m, complemented, early_exit);
+  }
+
+ private:
+  template <class IT>
+  static void check_index_width(IndexWidth requested) {
+    if (requested == IndexWidth::kAny) return;
+    if (requested != index_width_of<IT>()) {
+      throw invalid_argument_error(
+          "multiply_dyn: requested index width does not match the operand "
+          "index type");
+    }
+  }
+
+  template <class IT, class VT, class MT>
+  CsrMatrix<IT, VT> dyn_dispatch(const DynConfig& cfg,
+                                 const CsrMatrix<IT, VT>& a,
+                                 const CsrMatrix<IT, VT>& b,
+                                 const CsrMatrix<IT, MT>& m,
+                                 const BoundMatrix<IT, VT>* a_handle,
+                                 const BoundMatrix<IT, VT>* b_handle,
+                                 const BoundMatrix<IT, MT>* m_handle) {
+    check_index_width<IT>(cfg.index_width);
+    switch (cfg.semiring) {
+      case SemiringId::kPlusTimes:
+        return multiply_scheme<PlusTimes<VT>>(cfg.scheme, a, b, m,
+                                              cfg.mask_kind,
+                                              cfg.mask_semantics, cfg.stats,
+                                              a_handle, b_handle, m_handle);
+      case SemiringId::kOrAnd:
+        return multiply_scheme<OrAnd<VT>>(cfg.scheme, a, b, m, cfg.mask_kind,
+                                          cfg.mask_semantics, cfg.stats,
+                                          a_handle, b_handle, m_handle);
+      case SemiringId::kMinPlus:
+        return multiply_scheme<MinPlus<VT>>(cfg.scheme, a, b, m,
+                                            cfg.mask_kind, cfg.mask_semantics,
+                                            cfg.stats, a_handle, b_handle,
+                                            m_handle);
+      case SemiringId::kPlusFirst:
+        return multiply_scheme<PlusFirst<VT>>(cfg.scheme, a, b, m,
+                                              cfg.mask_kind,
+                                              cfg.mask_semantics, cfg.stats,
+                                              a_handle, b_handle, m_handle);
+      case SemiringId::kPlusSecond:
+        return multiply_scheme<PlusSecond<VT>>(cfg.scheme, a, b, m,
+                                               cfg.mask_kind,
+                                               cfg.mask_semantics, cfg.stats,
+                                               a_handle, b_handle, m_handle);
+      case SemiringId::kPlusPair:
+        return multiply_scheme<PlusPair<VT>>(cfg.scheme, a, b, m,
+                                             cfg.mask_kind,
+                                             cfg.mask_semantics, cfg.stats,
+                                             a_handle, b_handle, m_handle);
+    }
+    throw invalid_argument_error("multiply_dyn: unknown semiring id");
+  }
+
+  std::unique_ptr<ExecutionContext> owned_;  // null in non-owning mode
+  ExecutionContext* ctx_;
+};
+
+// ---------------------------------------------------------------------------
+// Fluent builder
+// ---------------------------------------------------------------------------
+
+/// Configuration stage of the fluent builder: semiring (defaults to
+/// PlusTimes<VT>), scheme (defaults to kAuto), mask kind, semantics, and
+/// stats sink, then `.run()`. Obtained from MultiplyStart::mask().
+template <Semiring SR, class IT, class VT, class MT>
+class MultiplyBuilder {
+ public:
+  MultiplyBuilder(Engine& engine, const CsrMatrix<IT, VT>& a,
+                  BoundMatrix<IT, VT> a_handle, const CsrMatrix<IT, VT>& b,
+                  BoundMatrix<IT, VT> b_handle, const CsrMatrix<IT, MT>& m,
+                  BoundMatrix<IT, MT> m_handle,
+                  Scheme scheme = Scheme::kAuto,
+                  MaskKind kind = MaskKind::kMask,
+                  MaskSemantics semantics = MaskSemantics::kStructural,
+                  MaskedSpgemmStats* stats = nullptr)
+      : engine_(&engine),
+        a_(&a),
+        b_(&b),
+        m_(&m),
+        a_handle_(std::move(a_handle)),
+        b_handle_(std::move(b_handle)),
+        m_handle_(std::move(m_handle)),
+        scheme_(scheme),
+        kind_(kind),
+        semantics_(semantics),
+        stats_(stats) {}
+
+  /// Select the scheme (any of the paper's 14, or kAuto).
+  MultiplyBuilder& scheme(Scheme s) {
+    scheme_ = s;
+    return *this;
+  }
+
+  /// Complement the mask: keep everything M would discard.
+  MultiplyBuilder& complement() {
+    kind_ = MaskKind::kComplement;
+    return *this;
+  }
+
+  MultiplyBuilder& mask_kind(MaskKind k) {
+    kind_ = k;
+    return *this;
+  }
+
+  /// Valued GraphBLAS semantics: explicitly stored zeros in the mask do
+  /// not admit their position.
+  MultiplyBuilder& valued() {
+    semantics_ = MaskSemantics::kValued;
+    return *this;
+  }
+
+  MultiplyBuilder& semantics(MaskSemantics s) {
+    semantics_ = s;
+    return *this;
+  }
+
+  /// Receive per-call execution statistics.
+  MultiplyBuilder& stats(MaskedSpgemmStats* s) {
+    stats_ = s;
+    return *this;
+  }
+
+  /// Choose the semiring by template family, applied to the value type:
+  /// `.semiring<PlusTimes>()` on double operands means PlusTimes<double>.
+  template <template <class> class S>
+  [[nodiscard]] MultiplyBuilder<S<VT>, IT, VT, MT> semiring() const {
+    return with_semiring<S<VT>>();
+  }
+
+  /// Choose a fully-specified semiring type (custom semirings included).
+  template <class S>
+    requires Semiring<S>
+  [[nodiscard]] MultiplyBuilder<S, IT, VT, MT> semiring() const {
+    return with_semiring<S>();
+  }
+
+  /// Execute. Bit-identical to ExecutionContext::multiply / run_scheme
+  /// with the equivalent configuration.
+  [[nodiscard]] CsrMatrix<IT, VT> run() const {
+    return engine_->template multiply_scheme<SR>(
+        scheme_, *a_, *b_, *m_, kind_, semantics_, stats_,
+        a_handle_.bound() ? &a_handle_ : nullptr,
+        b_handle_.bound() ? &b_handle_ : nullptr,
+        m_handle_.bound() ? &m_handle_ : nullptr);
+  }
+
+ private:
+  template <class S>
+  [[nodiscard]] MultiplyBuilder<S, IT, VT, MT> with_semiring() const {
+    return MultiplyBuilder<S, IT, VT, MT>(*engine_, *a_, a_handle_, *b_,
+                                          b_handle_, *m_, m_handle_, scheme_,
+                                          kind_, semantics_, stats_);
+  }
+
+  Engine* engine_;
+  const CsrMatrix<IT, VT>* a_;
+  const CsrMatrix<IT, VT>* b_;
+  const CsrMatrix<IT, MT>* m_;
+  BoundMatrix<IT, VT> a_handle_;
+  BoundMatrix<IT, VT> b_handle_;
+  BoundMatrix<IT, MT> m_handle_;
+  Scheme scheme_;
+  MaskKind kind_;
+  MaskSemantics semantics_;
+  MaskedSpgemmStats* stats_;
+};
+
+/// Operand stage of the fluent builder: holds (A, B); `.mask()` fixes the
+/// mask (raw or bound, any value type) and yields the configuration stage.
+template <class IT, class VT>
+class MultiplyStart {
+ public:
+  MultiplyStart(Engine& engine, const CsrMatrix<IT, VT>& a,
+                BoundMatrix<IT, VT> a_handle, const CsrMatrix<IT, VT>& b,
+                BoundMatrix<IT, VT> b_handle)
+      : engine_(&engine),
+        a_(&a),
+        b_(&b),
+        a_handle_(std::move(a_handle)),
+        b_handle_(std::move(b_handle)) {}
+
+  template <class MT>
+  [[nodiscard]] MultiplyBuilder<PlusTimes<VT>, IT, VT, MT> mask(
+      const CsrMatrix<IT, MT>& m) const {
+    return {*engine_, *a_, a_handle_, *b_, b_handle_, m, BoundMatrix<IT, MT>{}};
+  }
+
+  template <class MT>
+  [[nodiscard]] MultiplyBuilder<PlusTimes<VT>, IT, VT, MT> mask(
+      const BoundMatrix<IT, MT>& m) const {
+    return {*engine_, *a_, a_handle_, *b_, b_handle_, m.matrix(), m};
+  }
+
+  /// A temporary mask would dangle before .run(); pass an lvalue.
+  template <class MT>
+  MultiplyBuilder<PlusTimes<VT>, IT, VT, MT> mask(CsrMatrix<IT, MT>&&)
+      const = delete;
+
+ private:
+  Engine* engine_;
+  const CsrMatrix<IT, VT>* a_;
+  const CsrMatrix<IT, VT>* b_;
+  BoundMatrix<IT, VT> a_handle_;
+  BoundMatrix<IT, VT> b_handle_;
+};
+
+template <class IT, class VT>
+MultiplyStart<IT, VT> Engine::multiply(const CsrMatrix<IT, VT>& a,
+                                       const CsrMatrix<IT, VT>& b) {
+  return {*this, a, BoundMatrix<IT, VT>{}, b, BoundMatrix<IT, VT>{}};
+}
+
+template <class IT, class VT>
+MultiplyStart<IT, VT> Engine::multiply(const BoundMatrix<IT, VT>& a,
+                                       const BoundMatrix<IT, VT>& b) {
+  return {*this, a.matrix(), a, b.matrix(), b};
+}
+
+template <class IT, class VT>
+MultiplyStart<IT, VT> Engine::multiply(const BoundMatrix<IT, VT>& a,
+                                       const CsrMatrix<IT, VT>& b) {
+  return {*this, a.matrix(), a, b, BoundMatrix<IT, VT>{}};
+}
+
+template <class IT, class VT>
+MultiplyStart<IT, VT> Engine::multiply(const CsrMatrix<IT, VT>& a,
+                                       const BoundMatrix<IT, VT>& b) {
+  return {*this, a, BoundMatrix<IT, VT>{}, b.matrix(), b};
+}
+
+}  // namespace msp

@@ -61,6 +61,10 @@ class ExecutionContext {
     std::size_t plan_mismatches = 0;
     std::size_t batch_calls = 0;  ///< multiply_batch invocations
     std::size_t batch_masks = 0;  ///< total masks across those batches
+    /// O(nnz) pattern hashes actually performed. Calls that provide operand
+    /// hints (Engine + BoundMatrix) skip these; the delta between calls and
+    /// hashes is the observable fingerprint amortization of bound handles.
+    std::size_t fingerprints_computed = 0;
     double plan_seconds = 0.0;  ///< total planning/setup time across calls
   };
 
@@ -94,27 +98,47 @@ class ExecutionContext {
   /// Fetch (or build) the plan for the given operands/configuration. The
   /// returned reference stays valid until `max_plans` later misses evict
   /// it or clear() is called; the common usage is within one multiply.
+  /// `hints` (see plan.hpp) carries operand state precomputed by the
+  /// caller — fingerprints that skip the per-call hash, a shared flops
+  /// vector threaded into any plan built here; every hint is optional and
+  /// missing pieces are derived exactly as an unhinted call would.
   template <class IT, class VT, class MT>
-  SpgemmPlan<IT, VT, MT>& plan_for(const CsrMatrix<IT, VT>& a,
-                                   const CsrMatrix<IT, VT>& b,
-                                   const CsrMatrix<IT, MT>& m, MaskKind kind,
-                                   MaskSemantics semantics,
-                                   bool* cache_hit = nullptr) {
+  SpgemmPlan<IT, VT, MT>& plan_for(
+      const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+      const CsrMatrix<IT, MT>& m, MaskKind kind, MaskSemantics semantics,
+      bool* cache_hit = nullptr,
+      const SpgemmOperandHints<IT, VT>* hints = nullptr) {
     using Plan = SpgemmPlan<IT, VT, MT>;
     // Aliased operands (ktruss: A = B = M = C; tricount: L thrice) are
-    // fingerprinted once, not three times.
+    // fingerprinted once, not three times; hinted fingerprints are not
+    // recomputed at all (they go through the same test-only transform, so
+    // hinted and unhinted calls agree on every key).
     const bool valued = semantics == MaskSemantics::kValued;
-    const std::uint64_t fa = fingerprint(a, false);
-    const std::uint64_t fb = &b == &a ? fa : fingerprint(b, false);
-    const std::uint64_t fm = mask_fingerprint(a, b, m, fa, fb, valued);
+    const std::uint64_t fa = hints != nullptr && hints->fa.has_value()
+                                 ? transform(*hints->fa)
+                                 : fingerprint(a, false);
+    std::uint64_t fb;
+    if (hints != nullptr && hints->fb.has_value()) {
+      fb = transform(*hints->fb);
+    } else if (&b == &a) {
+      fb = fa;
+    } else {
+      fb = fingerprint(b, false);
+    }
+    const std::uint64_t fm = hints != nullptr && hints->fm.has_value()
+                                 ? transform(*hints->fm)
+                                 : mask_fingerprint(a, b, m, fa, fb, valued);
     const PlanKey key{fa,
                       fb,
                       fm,
                       static_cast<int>(kind),
                       static_cast<int>(semantics),
                       std::type_index(typeid(Plan))};
+    std::shared_ptr<const std::vector<std::int64_t>> shared_flops =
+        hints != nullptr ? hints->flops : nullptr;
     return *acquire_plan<IT, VT, MT>(key, a, b, m, kind, semantics, cache_hit,
-                                     nullptr);
+                                     shared_flops != nullptr ? &shared_flops
+                                                             : nullptr);
   }
 
   /// Per-thread scratch of any default-constructible type, created on
@@ -146,11 +170,16 @@ class ExecutionContext {
   /// Bit-identical to masked_multiply with the same options; repeated
   /// calls on unchanged operand patterns reuse the cached plan (values
   /// may differ — they are re-read from the operands every call).
+  /// `hints` lets bound-operand callers (core/engine.hpp) supply cached
+  /// fingerprints / flops / transpose state; results are bit-identical
+  /// with or without hints.
   template <Semiring SR, class IT, class VT, class MT>
   CsrMatrix<IT, VT> multiply(const CsrMatrix<IT, VT>& a,
                              const CsrMatrix<IT, VT>& b,
                              const CsrMatrix<IT, MT>& m,
-                             const MaskedSpgemmOptions& opt = {}) {
+                             const MaskedSpgemmOptions& opt = {},
+                             const SpgemmOperandHints<IT, VT>* hints =
+                                 nullptr) {
     detail::validate_shapes(a.nrows, a.ncols, b.nrows, b.ncols, m);
     const bool complemented = opt.mask_kind == MaskKind::kComplement;
     if (complemented && opt.algorithm == MaskedAlgorithm::kMca) {
@@ -160,14 +189,18 @@ class ExecutionContext {
     Timer plan_timer;
     bool hit = false;
     auto& plan = plan_for<IT, VT, MT>(a, b, m, opt.mask_kind,
-                                      opt.mask_semantics, &hit);
+                                      opt.mask_semantics, &hit, hints);
     const CsrMatrix<IT, MT>& mm = plan.effective_mask(m);
     const RowPartition<IT>& partition = plan.ensure_partition(max_threads());
     const std::vector<std::size_t>* ub = nullptr;
     if (opt.phase == MaskedPhase::kOnePhase) ub = &plan.ensure_bounds(m);
     const CscMatrix<IT, VT>* b_csc = nullptr;
     if (opt.algorithm == MaskedAlgorithm::kInner) {
-      b_csc = &plan.ensure_b_csc(b);
+      if (hints != nullptr && hints->b_csc != nullptr) {
+        plan.adopt_csc(hints->b_csc);
+      }
+      b_csc = &plan.ensure_b_csc(
+          b, hints != nullptr ? hints->b_values_version : 0);
     }
     prepare_threads(max_threads());
     const double plan_seconds = plan_timer.seconds();
@@ -375,6 +408,7 @@ class ExecutionContext {
                       static_cast<const void*>(cache)) == refreshed.end()) {
           cache->ensure_structure(b);
           cache->refresh_values(b);
+          cache->fresh_for_version = 0;  // batch path carries no version
           refreshed.push_back(cache);
         }
         b_cscs[static_cast<std::size_t>(q)] = &cache->csc;
@@ -506,12 +540,20 @@ class ExecutionContext {
     }
   };
 
-  /// Pattern fingerprint with the (test-only) post-transform applied.
+  /// The (test-only) fingerprint post-transform, applied to every raw
+  /// fingerprint — computed here or supplied through hints — before it
+  /// enters a plan key.
+  [[nodiscard]] std::uint64_t transform(std::uint64_t h) const {
+    return fp_transform_ != nullptr ? fp_transform_(h) : h;
+  }
+
+  /// Pattern fingerprint with the post-transform applied. Counted in
+  /// CacheStats::fingerprints_computed — hinted calls never get here.
   template <class IT, class T>
   std::uint64_t fingerprint(const CsrMatrix<IT, T>& x,
-                            bool include_value_zeros) const {
-    const std::uint64_t h = pattern_fingerprint(x, include_value_zeros);
-    return fp_transform_ != nullptr ? fp_transform_(h) : h;
+                            bool include_value_zeros) {
+    ++stats_.fingerprints_computed;
+    return transform(pattern_fingerprint(x, include_value_zeros));
   }
 
   /// Mask fingerprint with the aliasing shortcut (a mask that *is* A or B
@@ -520,7 +562,7 @@ class ExecutionContext {
   std::uint64_t mask_fingerprint(const CsrMatrix<IT, VT>& a,
                                  const CsrMatrix<IT, VT>& b,
                                  const CsrMatrix<IT, MT>& m, std::uint64_t fa,
-                                 std::uint64_t fb, bool valued) const {
+                                 std::uint64_t fb, bool valued) {
     if constexpr (std::is_same_v<VT, MT>) {
       if (!valued &&
           static_cast<const void*>(&m) == static_cast<const void*>(&a)) {

@@ -19,6 +19,7 @@
 #include <bit>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -310,6 +311,12 @@ struct CscTransposeCache {
   CscMatrix<IT, VT> csc;
   std::vector<IT> perm;  ///< CSR entry → CSC position
   bool built = false;
+  /// Caller-tracked values version the CSC values were last gathered for
+  /// (BoundMatrix::values_version). 0 means "unknown" — a raw (handle-less)
+  /// execution always re-gathers and resets this to 0, so version-gated
+  /// skipping only ever happens between two calls through the same handle
+  /// contract.
+  std::uint64_t fresh_for_version = 0;
 
   void ensure_structure(const CsrMatrix<IT, VT>& b) {
     if (built) return;
@@ -346,6 +353,35 @@ struct CscTransposeCache {
       csc.values[pos] = b.values[static_cast<std::size_t>(perm[pos])];
     }
   }
+};
+
+// ---------------------------------------------------------------------------
+// Operand hints
+// ---------------------------------------------------------------------------
+
+/// Precomputed per-operand state a caller (the Engine facade's BoundMatrix
+/// handles, core/bound_matrix.hpp) can hand to ExecutionContext::multiply so
+/// the context skips re-deriving it. Every field is optional; an unset field
+/// is computed per call exactly as before, so partially-bound calls (say, a
+/// bound B under a fresh per-iteration mask) still work. Fingerprints are
+/// the *raw* pattern fingerprints — the context applies its (test-only)
+/// fingerprint transform before they enter a plan key, keeping the
+/// collision test seam effective for hinted calls too.
+template <class IT, class VT>
+struct SpgemmOperandHints {
+  std::optional<std::uint64_t> fa;  ///< pattern fingerprint of A
+  std::optional<std::uint64_t> fb;  ///< pattern fingerprint of B
+  /// Mask fingerprint under the call's semantics (pattern fingerprint for
+  /// structural, valued fingerprint for valued semantics).
+  std::optional<std::uint64_t> fm;
+  /// Per-row flops of A·B, shared into any plan built by this call.
+  std::shared_ptr<const std::vector<std::int64_t>> flops;
+  /// B's transpose cache, adopted by the plan (Inner algorithm only) so
+  /// the CSC structure is built once per handle rather than once per plan.
+  std::shared_ptr<CscTransposeCache<IT, VT>> b_csc;
+  /// B's values version (BoundMatrix::values_version): lets ensure_b_csc
+  /// skip the O(nnz) value re-gather while the version is unchanged.
+  std::uint64_t b_values_version = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -458,12 +494,25 @@ class SpgemmPlan {
   /// once, values re-gathered from the *current* B on every call; see
   /// CscTransposeCache). The cache object is created lazily here unless a
   /// batch injected a shared one through adopt_csc() first.
-  const CscMatrix<IT, VT>& ensure_b_csc(const CsrMatrix<IT, VT>& b) {
+  ///
+  /// `values_version`, when nonzero, is the caller's monotonically bumped
+  /// values version for this B (BoundMatrix handles): if the cache's
+  /// values were last gathered for exactly that version the O(nnz) gather
+  /// is skipped — the handle contract (values_changed() after in-place
+  /// mutation) makes that safe, and it keeps steady-state Inner calls
+  /// free of per-call value copies. Version 0 (raw callers, no contract)
+  /// always re-gathers.
+  const CscMatrix<IT, VT>& ensure_b_csc(const CsrMatrix<IT, VT>& b,
+                                        std::uint64_t values_version = 0) {
     if (b_csc_ == nullptr) {
       b_csc_ = std::make_shared<CscTransposeCache<IT, VT>>();
     }
     b_csc_->ensure_structure(b);
-    b_csc_->refresh_values(b);
+    if (values_version == 0 ||
+        b_csc_->fresh_for_version != values_version) {
+      b_csc_->refresh_values(b);
+      b_csc_->fresh_for_version = values_version;
+    }
     return b_csc_->csc;
   }
 

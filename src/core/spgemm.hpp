@@ -108,6 +108,7 @@ class SpgemmHashMap {
 template <Semiring SR, class IT, class VT>
 CsrMatrix<IT, VT> multiply(const CsrMatrix<IT, VT>& a,
                            const CsrMatrix<IT, VT>& b, int chunk_rows = 64) {
+  (void)chunk_rows;  // consumed by the schedule clause; unused serial
   if (a.ncols != b.nrows) {
     throw invalid_argument_error("multiply: inner dimension mismatch");
   }

@@ -14,9 +14,12 @@
 
 #include "core/accumulator.hpp"      // IWYU pragma: export
 #include "core/baseline.hpp"         // IWYU pragma: export
+#include "core/bound_matrix.hpp"     // IWYU pragma: export
 #include "core/config.hpp"           // IWYU pragma: export
 #include "core/dispatch.hpp"         // IWYU pragma: export
+#include "core/engine.hpp"           // IWYU pragma: export
 #include "core/exec_context.hpp"     // IWYU pragma: export
+#include "core/scheme.hpp"           // IWYU pragma: export
 #include "core/flops.hpp"            // IWYU pragma: export
 #include "core/masked_spgemm.hpp"    // IWYU pragma: export
 #include "core/plan.hpp"             // IWYU pragma: export
