@@ -13,6 +13,8 @@
 #                                   batch size (default 10 / 8; acceptance
 #                                   runs use MSP_MULTIMASK_SCALE=17)
 #   MSP_ENGINE_SCALE                engine_reuse bench R-MAT scale (def. 12)
+#   MSP_SHARDED_SCALE               sharded_spgemm bench R-MAT scale
+#                                   (default 12; acceptance runs use 17)
 #   MSP_BENCH_THREADS               optional space-separated thread counts
 #                                   (e.g. "1 2 4 8"): re-runs the fig10
 #                                   sweep once per count and records a
@@ -29,6 +31,7 @@ export MSP_REPS=${MSP_REPS:-3}
 MSP_MULTIMASK_SCALE=${MSP_MULTIMASK_SCALE:-10}
 MSP_BATCH=${MSP_BATCH:-8}
 MSP_ENGINE_SCALE=${MSP_ENGINE_SCALE:-12}
+MSP_SHARDED_SCALE=${MSP_SHARDED_SCALE:-12}
 MSP_BENCH_THREADS=${MSP_BENCH_THREADS:-}
 
 cmake -B "$BUILD_DIR" -S . \
@@ -36,7 +39,8 @@ cmake -B "$BUILD_DIR" -S . \
   -DMSPGEMM_BUILD_BENCH=ON \
   -DMSPGEMM_BUILD_TESTS=OFF >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_fig10_tricount_scale \
-  --target bench_multimask_batch --target bench_engine_reuse >/dev/null
+  --target bench_multimask_batch --target bench_engine_reuse \
+  --target bench_sharded_spgemm >/dev/null
 # Best-effort: the micro benchmark target only exists when Google Benchmark
 # is installed; the baseline degrades gracefully without it.
 cmake --build "$BUILD_DIR" -j --target bench_micro_accumulators \
@@ -45,8 +49,9 @@ cmake --build "$BUILD_DIR" -j --target bench_micro_accumulators \
 FIG10_TXT=$(mktemp)
 MULTIMASK_TXT=$(mktemp)
 ENGINE_TXT=$(mktemp)
+SHARDED_TXT=$(mktemp)
 SWEEP_TMP=$(mktemp -d)
-trap 'rm -f "$FIG10_TXT" "$MULTIMASK_TXT" "$ENGINE_TXT"; rm -rf "$SWEEP_TMP"' EXIT
+trap 'rm -f "$FIG10_TXT" "$MULTIMASK_TXT" "$ENGINE_TXT" "$SHARDED_TXT"; rm -rf "$SWEEP_TMP"' EXIT
 echo "running bench_fig10_tricount_scale (scales $MSP_SCALE_MIN..$MSP_SCALE_MAX, $MSP_REPS reps)" >&2
 "$BUILD_DIR/bench/bench_fig10_tricount_scale" > "$FIG10_TXT"
 echo "running bench_multimask_batch (scale $MSP_MULTIMASK_SCALE, batch $MSP_BATCH, $MSP_REPS reps)" >&2
@@ -55,6 +60,9 @@ MSP_SCALE=$MSP_MULTIMASK_SCALE MSP_BATCH=$MSP_BATCH \
 echo "running bench_engine_reuse (scale $MSP_ENGINE_SCALE, $MSP_REPS reps)" >&2
 MSP_SCALE=$MSP_ENGINE_SCALE \
   "$BUILD_DIR/bench/bench_engine_reuse" > "$ENGINE_TXT"
+echo "running bench_sharded_spgemm (scale $MSP_SHARDED_SCALE, $MSP_REPS reps)" >&2
+MSP_SCALE=$MSP_SHARDED_SCALE \
+  "$BUILD_DIR/bench/bench_sharded_spgemm" > "$SHARDED_TXT"
 # Optional thread-count sweep: one fig10 run per requested thread count.
 for t in $MSP_BENCH_THREADS; do
   echo "running bench_fig10_tricount_scale with $t threads" >&2
@@ -112,6 +120,20 @@ thread_sweep_json() {
   printf '\n  ]'
 }
 
+# Turn the sharded table (one row per configuration: seconds, bit-identical
+# flag, per-call spill/reload counts, budget bytes or "-") into a JSON array.
+sharded_json() {
+  awk '
+    /^#/ { next }
+    $1 == "config" { next }
+    {
+      printf "%s{\"config\": \"%s\", \"seconds\": %s, \"identical\": %s, \"spills\": %s, \"reloads\": %s, \"budget_bytes\": %s}", \
+        sep, $1, $2, ($3 == 1 ? "true" : "false"), $4, $5, ($6 == "-" ? "null" : $6)
+      sep = ",\n      "
+    }
+  ' "$SHARDED_TXT"
+}
+
 # Turn the multimask table (one row per scheme: batch/sequential seconds,
 # speedup, warm-batch seconds, bit-identical flag) into a JSON array.
 multimask_json() {
@@ -162,6 +184,10 @@ DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
   printf '  "engine_reuse": {"scale": %s, "results": [\n      ' \
     "$MSP_ENGINE_SCALE"
   engine_json
+  printf '\n  ]},\n'
+  printf '  "sharded_spgemm": {"scale": %s, "results": [\n      ' \
+    "$MSP_SHARDED_SCALE"
+  sharded_json
   printf '\n  ]},\n'
   printf '  "thread_sweep": '
   thread_sweep_json

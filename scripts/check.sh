@@ -1,5 +1,18 @@
 #!/usr/bin/env sh
 # One-liner local verify: exactly the tier-1 command from ROADMAP.md.
+#
+# `check.sh --sanitize` instead configures an ASan+UBSan build (mirroring
+# the CI sanitizer job) and runs the conformance sweep plus the randomized
+# sharded differential trials: `ctest -L 'conformance|fuzz'`.
 set -eu
 cd "$(dirname "$0")/.."
-cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+if [ "${1:-}" = "--sanitize" ]; then
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMSPGEMM_SANITIZE=ON
+  cmake --build build-asan -j
+  # -L before the bare -j: a bare -j greedily consumes the next token as
+  # its job count on some ctest versions, silently dropping the filter.
+  cd build-asan && ctest --output-on-failure -L 'conformance|fuzz' -j
+else
+  cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+fi

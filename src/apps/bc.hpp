@@ -28,6 +28,7 @@
 
 #include "core/dispatch.hpp"
 #include "core/engine.hpp"
+#include "core/tiled_engine.hpp"
 #include "matrix/convert.hpp"
 #include "matrix/ops.hpp"
 #include "semiring/semiring.hpp"
@@ -73,10 +74,16 @@ CsrMatrix<IT, VT> backward_seed(const CsrMatrix<IT, VT>& frontier,
 /// as a BoundMatrix handle (fingerprinted once per call) vs the genuinely
 /// planless run_scheme path (null engine; the zero-state baseline the
 /// plan-amortization bench compares against).
+/// `tiled` (with `shards`/`store`) opts the expansions into the sharded
+/// path: each multiply splits its frontier rows into row blocks and runs
+/// shard-by-shard through the TiledEngine — same results, bounded
+/// per-multiply resident frontier. Requires a non-null `engine` (the
+/// tiled engine's own).
 template <class IT, class VT>
 BcResult<IT> bc_impl(const CsrMatrix<IT, VT>& adj,
                      const std::vector<IT>& sources, Scheme scheme,
-                     Engine* engine) {
+                     Engine* engine, TiledEngine* tiled = nullptr,
+                     int shards = 1, ShardStore* store = nullptr) {
   if (adj.nrows != adj.ncols) {
     throw invalid_argument_error("betweenness_centrality: square matrix required");
   }
@@ -101,9 +108,20 @@ BcResult<IT> bc_impl(const CsrMatrix<IT, VT>& adj,
       return run_scheme<PlusTimes<VT>>(scheme, left, a, mask, kind);
     }
     MaskedSpgemmStats stats;
-    CsrMatrix<IT, VT> out = engine->multiply_scheme<PlusTimes<VT>>(
-        scheme, left, a, mask, kind, MaskSemantics::kStructural, &stats,
-        nullptr, &a_bound);
+    CsrMatrix<IT, VT> out;
+    if (tiled != nullptr) {
+      // Sharded expansion: split the frontier rows (and the aligned mask
+      // rows) and run shard-by-shard; A stays whole and bound.
+      const ShardedMatrix<IT, VT> lsh(left, shards, store);
+      const ShardedMatrix<IT, VT> msh(mask, lsh, store);
+      out = tiled->multiply<PlusTimes<VT>>(scheme, lsh, a, msh, kind,
+                                           MaskSemantics::kStructural, &stats,
+                                           &a_bound);
+    } else {
+      out = engine->multiply_scheme<PlusTimes<VT>>(
+          scheme, left, a, mask, kind, MaskSemantics::kStructural, &stats,
+          nullptr, &a_bound);
+    }
     result.plan_stats.absorb(stats);
     return out;
   };
@@ -179,6 +197,22 @@ BcResult<IT> betweenness_centrality(const CsrMatrix<IT, VT>& adj,
                                     const std::vector<IT>& sources,
                                     Scheme scheme, Engine& engine) {
   return detail::bc_impl(adj, sources, scheme, &engine);
+}
+
+/// Opt-in sharded BC: every forward/backward expansion splits its frontier
+/// batch into `shards` row blocks (optionally spill-managed by `store`)
+/// and runs through `tiled`; the adjacency stays whole and handle-bound.
+/// Centralities and depths are bit-identical to the monolithic Engine
+/// path — this bounds the *resident frontier* per multiply, the base
+/// pattern for distributing one large source batch over workers.
+template <class IT, class VT>
+BcResult<IT> betweenness_centrality_sharded(const CsrMatrix<IT, VT>& adj,
+                                            const std::vector<IT>& sources,
+                                            Scheme scheme, TiledEngine& tiled,
+                                            int shards,
+                                            ShardStore* store = nullptr) {
+  return detail::bc_impl(adj, sources, scheme, &tiled.engine(), &tiled,
+                         shards, store);
 }
 
 /// DEPRECATED shim — prefer the Engine overload. A non-null `ctx` forwards

@@ -19,6 +19,7 @@
 #include "core/dispatch.hpp"
 #include "core/engine.hpp"
 #include "core/flops.hpp"
+#include "core/tiled_engine.hpp"
 #include "matrix/ops.hpp"
 #include "semiring/semiring.hpp"
 #include "util/timer.hpp"
@@ -69,6 +70,32 @@ TricountResult<IT> triangle_count(const TricountInput<IT, VT>& input,
   const CsrMatrix<IT, VT> c = engine.multiply_scheme<PlusPair<VT>>(
       scheme, input.l, input.l, input.l, MaskKind::kMask,
       MaskSemantics::kStructural, &stats, l, l, l);
+  result.spgemm_seconds = timer.seconds();
+  result.plan_stats.absorb(stats);
+  result.triangles = static_cast<std::int64_t>(reduce_sum(c));
+  return result;
+}
+
+/// Opt-in sharded/out-of-core triangle count: L is split into `shards`
+/// contiguous row blocks (optionally spill-managed by `store` when L does
+/// not fit the resident budget) and the masked product L ⊙ (L·L) runs
+/// shard-by-shard through `tiled` — one ShardedMatrix serves as both the
+/// left operand and the aligned mask. The split happens outside the timed
+/// region, like the CSC copy of the planless path; the count is
+/// bit-identical to `triangle_count` with the same scheme.
+template <class IT, class VT>
+TricountResult<IT> triangle_count_sharded(const TricountInput<IT, VT>& input,
+                                          Scheme scheme, TiledEngine& tiled,
+                                          int shards,
+                                          ShardStore* store = nullptr) {
+  TricountResult<IT> result;
+  result.flops = input.flops;
+  const ShardedMatrix<IT, VT> lsh(input.l, shards, store);
+  MaskedSpgemmStats stats;
+  Timer timer;
+  const CsrMatrix<IT, VT> c = tiled.multiply<PlusPair<VT>>(
+      scheme, lsh, input.l, lsh, MaskKind::kMask, MaskSemantics::kStructural,
+      &stats);
   result.spgemm_seconds = timer.seconds();
   result.plan_stats.absorb(stats);
   result.triangles = static_cast<std::int64_t>(reduce_sum(c));

@@ -61,6 +61,10 @@ class ExecutionContext {
     std::size_t plan_mismatches = 0;
     std::size_t batch_calls = 0;  ///< multiply_batch invocations
     std::size_t batch_masks = 0;  ///< total masks across those batches
+    std::size_t tiled_calls = 0;   ///< TiledEngine::multiply invocations
+    std::size_t tiled_shards = 0;  ///< shard multiplies across those calls
+    std::size_t shard_spills = 0;  ///< ShardStore evictions during them
+    std::size_t shard_reloads = 0; ///< ShardStore reloads during them
     /// O(nnz) pattern hashes actually performed. Calls that provide operand
     /// hints (Engine + BoundMatrix) skip these; the delta between calls and
     /// hashes is the observable fingerprint amortization of bound handles.
@@ -85,6 +89,17 @@ class ExecutionContext {
   /// Reset the cumulative counters only, keeping plans and scratch warm —
   /// for callers that want fresh statistics over an already-warm cache.
   void reset_stats() { stats_ = CacheStats{}; }
+
+  /// Fold one sharded/tiled multiply's shard-level accounting into the
+  /// cumulative stats (called by TiledEngine, which observes its stores'
+  /// spill/reload deltas around the shard loop).
+  void record_tiled(std::size_t shards, std::size_t spills,
+                    std::size_t reloads) {
+    ++stats_.tiled_calls;
+    stats_.tiled_shards += shards;
+    stats_.shard_spills += spills;
+    stats_.shard_reloads += reloads;
+  }
 
   /// Test seam: post-transform applied to every pattern fingerprint before
   /// it enters a plan key. Forcing a constant makes every key collide,

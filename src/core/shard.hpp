@@ -1,0 +1,650 @@
+// Row-shard decomposition of CSR operands — the out-of-core base layer of
+// the scale-out ROADMAP item.
+//
+// A `ShardedMatrix<IT, VT>` splits one CSR operand into K contiguous
+// row-block shards, each a self-contained CsrMatrix (the block's rows over
+// the full column space) carrying its own pattern fingerprint, computed
+// once at split time. Because every masked-SpGEMM kernel in this library is
+// row-wise, the masked product of a row block against an unsharded B is
+// exactly the corresponding row block of the monolithic product — so the
+// tiled driver (core/tiled_engine.hpp) can execute shard-by-shard and
+// stitch the per-shard CSRs back together bit-identically.
+//
+// A `ShardStore` optionally backs one or more sharded matrices with
+// spill-to-disk: shards are serialized into a scratch directory the first
+// time they are evicted and reloaded on demand, under a configurable
+// resident-bytes budget. The contract:
+//
+//  * shards a caller currently holds a `ShardLease` on are pinned and
+//    never evicted — the budget is enforced over the *unpinned* resident
+//    set, so it can be transiently exceeded while a multiply needs its
+//    active operand and mask shards in memory;
+//  * eviction is least-recently-used and happens eagerly: whenever a pin
+//    or unpin leaves the unpinned resident set over budget, LRU shards are
+//    spilled until it fits (budget 0 therefore keeps only pinned shards
+//    resident);
+//  * shard payloads are immutable after the split, so each shard is
+//    written at most once — later evictions just drop the resident copy
+//    and later leases read the same file back.
+//
+// The store is scoped like an ExecutionContext: one caller issuing a
+// stream of operations, each of which may parallelize internally. It is
+// not safe to share between concurrent callers.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "matrix/csr.hpp"
+#include "util/common.hpp"
+
+namespace msp {
+
+namespace detail {
+
+/// Binary shard file layout: a fixed header (magic, element widths, shape)
+/// followed by the raw rowptr/colids/values arrays. The header is checked
+/// on read so a stray or truncated file fails loudly instead of producing
+/// a malformed matrix.
+struct ShardFileHeader {
+  std::uint64_t magic = 0x4d53505348415244ULL;  // "MSPSHARD"
+  std::uint32_t it_bytes = 0;
+  std::uint32_t vt_bytes = 0;
+  std::int64_t nrows = 0;
+  std::int64_t ncols = 0;
+  std::uint64_t nnz = 0;
+};
+
+template <class IT, class VT>
+void write_shard_file(const std::filesystem::path& path,
+                      const CsrMatrix<IT, VT>& m) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw io_error("ShardStore: cannot open spill file for writing: " +
+                   path.string());
+  }
+  ShardFileHeader h;
+  h.it_bytes = sizeof(IT);
+  h.vt_bytes = sizeof(VT);
+  h.nrows = static_cast<std::int64_t>(m.nrows);
+  h.ncols = static_cast<std::int64_t>(m.ncols);
+  h.nnz = static_cast<std::uint64_t>(m.nnz());
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  out.write(reinterpret_cast<const char*>(m.rowptr.data()),
+            static_cast<std::streamsize>(m.rowptr.size() * sizeof(IT)));
+  out.write(reinterpret_cast<const char*>(m.colids.data()),
+            static_cast<std::streamsize>(m.colids.size() * sizeof(IT)));
+  out.write(reinterpret_cast<const char*>(m.values.data()),
+            static_cast<std::streamsize>(m.values.size() * sizeof(VT)));
+  if (!out) {
+    throw io_error("ShardStore: short write to spill file: " + path.string());
+  }
+}
+
+template <class IT, class VT>
+CsrMatrix<IT, VT> read_shard_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw io_error("ShardStore: cannot open spill file for reading: " +
+                   path.string());
+  }
+  ShardFileHeader h;
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!in || h.magic != ShardFileHeader{}.magic ||
+      h.it_bytes != sizeof(IT) || h.vt_bytes != sizeof(VT) || h.nrows < 0 ||
+      h.ncols < 0) {
+    throw io_error("ShardStore: malformed spill file: " + path.string());
+  }
+  std::vector<IT> rowptr(static_cast<std::size_t>(h.nrows) + 1);
+  std::vector<IT> colids(static_cast<std::size_t>(h.nnz));
+  std::vector<VT> values(static_cast<std::size_t>(h.nnz));
+  in.read(reinterpret_cast<char*>(rowptr.data()),
+          static_cast<std::streamsize>(rowptr.size() * sizeof(IT)));
+  in.read(reinterpret_cast<char*>(colids.data()),
+          static_cast<std::streamsize>(colids.size() * sizeof(IT)));
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(VT)));
+  if (!in) {
+    throw io_error("ShardStore: truncated spill file: " + path.string());
+  }
+  return CsrMatrix<IT, VT>(static_cast<IT>(h.nrows), static_cast<IT>(h.ncols),
+                           std::move(rowptr), std::move(colids),
+                           std::move(values));
+}
+
+}  // namespace detail
+
+/// Spill-to-disk backing for ShardedMatrix: serializes cold shards into a
+/// scratch directory and reloads them on demand, keeping the unpinned
+/// resident set within `resident_budget` bytes (LRU eviction). One store
+/// may back several sharded matrices — e.g. an operand and its aligned
+/// mask share one budget, which is what a real memory cap looks like.
+class ShardStore {
+ public:
+  struct Options {
+    /// High-water mark in bytes for unpinned resident shard payloads.
+    /// Defaults to unlimited (shards then never spill).
+    std::size_t resident_budget = std::numeric_limits<std::size_t>::max();
+    /// Base directory for spill files. Every store creates its own unique
+    /// subdirectory underneath (so two stores can never collide on shard
+    /// file names) and removes it on destruction. Empty (the default)
+    /// uses the system temp directory; a caller-provided base must exist
+    /// and is itself left in place.
+    std::filesystem::path scratch_dir;
+  };
+
+  struct Stats {
+    std::size_t spills = 0;   ///< evictions of a resident shard to disk
+    std::size_t reloads = 0;  ///< on-demand loads of a spilled shard
+  };
+
+  ShardStore() : ShardStore(Options{}) {}
+
+  explicit ShardStore(Options opt) : budget_(opt.resident_budget) {
+    std::filesystem::path base = opt.scratch_dir;
+    if (base.empty()) {
+      base = std::filesystem::temp_directory_path() / "mspgemm-shards";
+      std::error_code ec;
+      std::filesystem::create_directories(base, ec);
+    } else if (!std::filesystem::is_directory(base)) {
+      throw invalid_argument_error("ShardStore: scratch_dir does not exist: " +
+                                   base.string());
+    }
+    dir_ = unique_scratch_dir(base);
+  }
+
+  ShardStore(const ShardStore&) = delete;
+  ShardStore& operator=(const ShardStore&) = delete;
+
+  ~ShardStore() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t resident_bytes() const { return resident_bytes_; }
+  [[nodiscard]] std::size_t resident_budget() const { return budget_; }
+  [[nodiscard]] const std::filesystem::path& scratch_dir() const {
+    return dir_;
+  }
+
+  /// Evict every unpinned resident shard regardless of budget — a test and
+  /// walkthrough hook to force the cold-start path deterministically.
+  void spill_all() {
+    for (std::size_t id = 0; id < entries_.size(); ++id) {
+      Entry& e = entries_[id];
+      if (!e.dead && e.resident && e.pins == 0) evict(e);
+    }
+  }
+
+  /// True while the given registered shard has a resident payload.
+  [[nodiscard]] bool resident(std::size_t id) const {
+    MSP_ASSERT(id < entries_.size());
+    return entries_[id].resident;
+  }
+
+ private:
+  template <class, class>
+  friend class ShardedMatrix;
+  template <class, class>
+  friend class ShardLease;
+
+  struct Entry {
+    std::size_t bytes = 0;
+    bool resident = true;
+    bool on_disk = false;
+    bool dead = false;  ///< unregistered (tombstone: ids stay stable)
+    int pins = 0;
+    std::uint64_t tick = 0;
+    std::filesystem::path file;
+    std::function<void(const std::filesystem::path&)> save;
+    std::function<void(const std::filesystem::path&)> load;
+    std::function<void()> drop;  ///< free the resident payload
+  };
+
+  /// Register a (currently resident) shard payload; returns its entry id.
+  std::size_t add(std::size_t bytes,
+                  std::function<void(const std::filesystem::path&)> save,
+                  std::function<void(const std::filesystem::path&)> load,
+                  std::function<void()> drop) {
+    Entry e;
+    e.bytes = bytes;
+    e.tick = ++tick_;
+    e.file = dir_ / ("shard-" + std::to_string(entries_.size()) + ".bin");
+    e.save = std::move(save);
+    e.load = std::move(load);
+    e.drop = std::move(drop);
+    entries_.push_back(std::move(e));
+    resident_bytes_ += bytes;
+    enforce();
+    return entries_.size() - 1;
+  }
+
+  /// Make the shard resident (reloading if spilled) and pin it against
+  /// eviction. Budget pressure created by the reload is resolved against
+  /// the other, unpinned shards.
+  void pin(std::size_t id) {
+    MSP_ASSERT(id < entries_.size());
+    Entry& e = entries_[id];
+    if (!e.resident) {
+      e.load(e.file);
+      e.resident = true;
+      resident_bytes_ += e.bytes;
+      ++stats_.reloads;
+    }
+    ++e.pins;
+    e.tick = ++tick_;
+    enforce();
+  }
+
+  void unpin(std::size_t id) {
+    MSP_ASSERT(id < entries_.size());
+    Entry& e = entries_[id];
+    MSP_ASSERT(e.pins > 0);
+    --e.pins;
+    enforce();
+  }
+
+  /// Unregister a shard whose ShardedMatrix (and every lease) is gone:
+  /// free its resident accounting, delete its spill file, and release the
+  /// payload-owning closures. The entry stays as a tombstone so later ids
+  /// remain stable. Without this, a long-lived store fed by short-lived
+  /// sharded matrices (the per-expansion bc pattern) would accumulate dead
+  /// payloads and spill files for its whole lifetime.
+  void remove(std::size_t id) {
+    MSP_ASSERT(id < entries_.size());
+    Entry& e = entries_[id];
+    MSP_ASSERT(e.pins == 0);
+    if (e.resident) {
+      MSP_ASSERT(resident_bytes_ >= e.bytes);
+      resident_bytes_ -= e.bytes;
+    }
+    if (e.on_disk) {
+      std::error_code ec;
+      std::filesystem::remove(e.file, ec);
+    }
+    e.resident = false;
+    e.on_disk = false;
+    e.dead = true;
+    e.save = nullptr;
+    e.load = nullptr;
+    e.drop = nullptr;
+  }
+
+  /// Spill LRU unpinned shards until the unpinned resident set fits the
+  /// budget. Pinned shards always count toward resident_bytes_ but are
+  /// never candidates, so the total can exceed the budget while a multiply
+  /// holds its active shards.
+  void enforce() {
+    while (true) {
+      std::size_t unpinned = 0;
+      Entry* victim = nullptr;
+      for (Entry& e : entries_) {
+        if (e.dead || !e.resident || e.pins > 0) continue;
+        unpinned += e.bytes;
+        if (victim == nullptr || e.tick < victim->tick) victim = &e;
+      }
+      if (unpinned <= budget_ || victim == nullptr) return;
+      evict(*victim);
+    }
+  }
+
+  void evict(Entry& e) {
+    MSP_ASSERT(e.resident && e.pins == 0);
+    if (!e.on_disk) {
+      e.save(e.file);
+      e.on_disk = true;
+    }
+    e.drop();
+    e.resident = false;
+    MSP_ASSERT(resident_bytes_ >= e.bytes);
+    resident_bytes_ -= e.bytes;
+    ++stats_.spills;
+  }
+
+  static std::filesystem::path unique_scratch_dir(
+      const std::filesystem::path& base) {
+    std::random_device rd;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::filesystem::path dir =
+          base / (std::to_string(rd()) + "-" + std::to_string(rd()));
+      std::error_code ec;
+      if (std::filesystem::create_directories(dir, ec) && !ec) return dir;
+    }
+    throw io_error("ShardStore: cannot create a scratch directory under " +
+                   base.string());
+  }
+
+  std::size_t budget_;
+  std::filesystem::path dir_;
+  std::vector<Entry> entries_;
+  std::size_t resident_bytes_ = 0;
+  std::uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+/// Copy rows [begin, end) of `a` as a self-contained CSR over the full
+/// column space — the shard payload.
+template <class IT, class VT>
+CsrMatrix<IT, VT> slice_rows(const CsrMatrix<IT, VT>& a, IT begin, IT end) {
+  if (begin < 0 || end < begin || end > a.nrows) {
+    throw invalid_argument_error("slice_rows: range out of bounds");
+  }
+  const std::size_t lo = static_cast<std::size_t>(a.rowptr[begin]);
+  const std::size_t hi = static_cast<std::size_t>(a.rowptr[end]);
+  std::vector<IT> rowptr(static_cast<std::size_t>(end - begin) + 1);
+  for (IT i = begin; i <= end; ++i) {
+    rowptr[static_cast<std::size_t>(i - begin)] =
+        a.rowptr[i] - static_cast<IT>(lo);
+  }
+  std::vector<IT> colids(a.colids.begin() + static_cast<std::ptrdiff_t>(lo),
+                         a.colids.begin() + static_cast<std::ptrdiff_t>(hi));
+  std::vector<VT> values(a.values.begin() + static_cast<std::ptrdiff_t>(lo),
+                         a.values.begin() + static_cast<std::ptrdiff_t>(hi));
+  return CsrMatrix<IT, VT>(end - begin, a.ncols, std::move(rowptr),
+                           std::move(colids), std::move(values));
+}
+
+/// Concatenate row blocks (in order) into one CSR — the inverse of the
+/// shard split, used by the tiled driver to stitch per-shard results.
+template <class IT, class VT>
+CsrMatrix<IT, VT> stitch_row_blocks(const std::vector<CsrMatrix<IT, VT>>& parts,
+                                    IT ncols) {
+  IT nrows = 0;
+  std::size_t nnz = 0;
+  for (const auto& p : parts) {
+    if (p.ncols != ncols) {
+      throw invalid_argument_error("stitch_row_blocks: column-count mismatch");
+    }
+    nrows += p.nrows;
+    nnz += p.nnz();
+  }
+  std::vector<IT> rowptr;
+  rowptr.reserve(static_cast<std::size_t>(nrows) + 1);
+  rowptr.push_back(0);
+  std::vector<IT> colids;
+  colids.reserve(nnz);
+  std::vector<VT> values;
+  values.reserve(nnz);
+  IT base = 0;
+  for (const auto& p : parts) {
+    for (IT i = 0; i < p.nrows; ++i) {
+      rowptr.push_back(base + p.rowptr[static_cast<std::size_t>(i) + 1]);
+    }
+    colids.insert(colids.end(), p.colids.begin(), p.colids.end());
+    values.insert(values.end(), p.values.begin(), p.values.end());
+    base += static_cast<IT>(p.nnz());
+  }
+  return CsrMatrix<IT, VT>(nrows, ncols, std::move(rowptr), std::move(colids),
+                           std::move(values));
+}
+
+template <class IT, class VT>
+class ShardedMatrix;
+
+/// RAII pin on one shard's resident payload. While any lease on a shard is
+/// alive the store cannot evict it, so the reference returned by matrix()
+/// stays valid even if other shards of the same store are loaded. Move-only.
+template <class IT, class VT>
+class ShardLease {
+ public:
+  ShardLease(ShardLease&& o) noexcept
+      : store_(std::exchange(o.store_, nullptr)),
+        slot_(std::move(o.slot_)),
+        id_(o.id_),
+        keepalive_(std::move(o.keepalive_)) {}
+  ShardLease& operator=(ShardLease&& o) noexcept {
+    if (this != &o) {
+      release();
+      store_ = std::exchange(o.store_, nullptr);
+      slot_ = std::move(o.slot_);
+      id_ = o.id_;
+      keepalive_ = std::move(o.keepalive_);
+    }
+    return *this;
+  }
+  ShardLease(const ShardLease&) = delete;
+  ShardLease& operator=(const ShardLease&) = delete;
+  ~ShardLease() { release(); }
+
+  [[nodiscard]] const CsrMatrix<IT, VT>& matrix() const {
+    MSP_ASSERT(slot_ != nullptr && slot_->resident);
+    return slot_->data;
+  }
+  const CsrMatrix<IT, VT>& operator*() const { return matrix(); }
+  const CsrMatrix<IT, VT>* operator->() const { return &matrix(); }
+
+ private:
+  friend class ShardedMatrix<IT, VT>;
+  struct Slot;
+
+  ShardLease(ShardStore* store, std::shared_ptr<Slot> slot, std::size_t id,
+             std::shared_ptr<void> keepalive)
+      : store_(store),
+        slot_(std::move(slot)),
+        id_(id),
+        keepalive_(std::move(keepalive)) {}
+
+  void release() {
+    if (store_ != nullptr && slot_ != nullptr) store_->unpin(id_);
+    store_ = nullptr;
+    slot_ = nullptr;
+    keepalive_ = nullptr;  // after unpin: registrations die with pins == 0
+  }
+
+  ShardStore* store_;  // null when the sharded matrix has no store
+  std::shared_ptr<Slot> slot_;
+  std::size_t id_ = 0;
+  /// Keeps the owning ShardedMatrix's store registration alive: a lease
+  /// outliving every copy of the sharded matrix must still unpin a live
+  /// store entry before that entry is unregistered.
+  std::shared_ptr<void> keepalive_;
+};
+
+/// A CSR operand split into K contiguous row-block shards, each with its
+/// own pattern fingerprint (computed once, before any spill, and — like
+/// BoundMatrix — raw, so the ExecutionContext's test-only fingerprint
+/// transform still applies on use). A second matrix with the same row
+/// count (typically the mask of a masked product) can be split with the
+/// *aligned* constructor so both decompose over identical row ranges.
+///
+/// Shards are immutable copies of the source rows; the source matrix is
+/// not referenced after construction, which is what makes spill/reload
+/// safe. Access goes through `lease(s)`, which pins the shard resident for
+/// the lease's lifetime.
+template <class IT, class VT>
+class ShardedMatrix {
+ public:
+  /// Split into `k` near-equal contiguous row blocks (k > nrows yields
+  /// empty trailing shards — legal, they produce empty result blocks).
+  ShardedMatrix(const CsrMatrix<IT, VT>& a, int k,
+                ShardStore* store = nullptr)
+      : ShardedMatrix(a, even_ranges(a.nrows, k), store) {}
+
+  /// Split `m` over exactly the row ranges of `like` (the aligned-mask
+  /// constructor). Row counts must match.
+  template <class VT2>
+  ShardedMatrix(const CsrMatrix<IT, VT>& m, const ShardedMatrix<IT, VT2>& like,
+                ShardStore* store = nullptr)
+      : ShardedMatrix(m, aligned_ranges(m, like), store) {}
+
+  /// Split over explicit row boundaries: ranges[s] .. ranges[s+1].
+  ShardedMatrix(const CsrMatrix<IT, VT>& a, std::vector<IT> ranges,
+                ShardStore* store = nullptr)
+      : nrows_(a.nrows), ncols_(a.ncols), ranges_(std::move(ranges)),
+        store_(store) {
+    if (ranges_.size() < 2 || ranges_.front() != 0 ||
+        ranges_.back() != nrows_) {
+      throw invalid_argument_error("ShardedMatrix: malformed row ranges");
+    }
+    const int k = static_cast<int>(ranges_.size()) - 1;
+    slots_.reserve(static_cast<std::size_t>(k));
+    for (int s = 0; s < k; ++s) {
+      if (ranges_[static_cast<std::size_t>(s) + 1] <
+          ranges_[static_cast<std::size_t>(s)]) {
+        throw invalid_argument_error("ShardedMatrix: descending row ranges");
+      }
+      auto slot = std::make_shared<Slot>();
+      slot->data = slice_rows(a, ranges_[static_cast<std::size_t>(s)],
+                              ranges_[static_cast<std::size_t>(s) + 1]);
+      slot->resident = true;
+      slot->fp = pattern_fingerprint(slot->data, false);
+      slot->bytes = payload_bytes(slot->data);
+      if (store_ != nullptr) {
+        if (reg_ == nullptr) reg_ = std::make_shared<Registration>(store_);
+        // The callbacks capture the shared slot, not `this`, so the
+        // sharded matrix stays movable and the store outlives nothing.
+        std::shared_ptr<Slot> sp = slot;
+        slot->store_id = store_->add(
+            slot->bytes,
+            [sp](const std::filesystem::path& f) {
+              detail::write_shard_file(f, sp->data);
+            },
+            [sp](const std::filesystem::path& f) {
+              sp->data = detail::read_shard_file<IT, VT>(f);
+              sp->resident = true;
+            },
+            [sp] {
+              sp->data = CsrMatrix<IT, VT>{};
+              sp->resident = false;
+            });
+        reg_->ids.push_back(slot->store_id);
+      }
+      slots_.push_back(std::move(slot));
+    }
+  }
+
+  [[nodiscard]] int shards() const { return static_cast<int>(slots_.size()); }
+  [[nodiscard]] IT nrows() const { return nrows_; }
+  [[nodiscard]] IT ncols() const { return ncols_; }
+  [[nodiscard]] const std::vector<IT>& ranges() const { return ranges_; }
+  [[nodiscard]] IT row_begin(int s) const {
+    return ranges_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] IT row_end(int s) const {
+    return ranges_[static_cast<std::size_t>(s) + 1];
+  }
+  [[nodiscard]] ShardStore* store() const { return store_; }
+
+  /// The shard's pattern fingerprint (computed at split time; survives
+  /// spill/reload untouched).
+  [[nodiscard]] std::uint64_t fingerprint(int s) const {
+    return slot(s).fp;
+  }
+
+  /// The shard's valued-semantics fingerprint (pattern + zero/nonzero
+  /// bitmap), computed on first use — this may reload a spilled shard.
+  [[nodiscard]] std::uint64_t valued_fingerprint(int s) const {
+    Slot& sl = slot(s);
+    if (!sl.has_valued_fp) {
+      const ShardLease<IT, VT> held = lease(s);
+      sl.fp_valued = pattern_fingerprint(held.matrix(), true);
+      sl.has_valued_fp = true;
+    }
+    return sl.fp_valued;
+  }
+
+  /// Payload bytes (rowptr + colids + values) of one shard / of the split.
+  [[nodiscard]] std::size_t bytes(int s) const { return slot(s).bytes; }
+  [[nodiscard]] std::size_t total_bytes() const {
+    std::size_t sum = 0;
+    for (const auto& sl : slots_) sum += sl->bytes;
+    return sum;
+  }
+
+  /// Pin shard `s` resident (reloading it if spilled) and return a lease
+  /// on its payload.
+  [[nodiscard]] ShardLease<IT, VT> lease(int s) const {
+    Slot& sl = slot(s);
+    if (store_ != nullptr) {
+      store_->pin(sl.store_id);
+    }
+    return ShardLease<IT, VT>(store_, slots_[static_cast<std::size_t>(s)],
+                              store_ != nullptr ? sl.store_id : 0, reg_);
+  }
+
+  /// True while the shard's payload is in memory (always, without a store).
+  [[nodiscard]] bool resident(int s) const { return slot(s).resident; }
+
+  /// Near-equal contiguous row boundaries for k shards of n rows.
+  static std::vector<IT> even_ranges(IT n, int k) {
+    if (k < 1) throw invalid_argument_error("ShardedMatrix: k must be >= 1");
+    std::vector<IT> r(static_cast<std::size_t>(k) + 1);
+    for (int s = 0; s <= k; ++s) {
+      r[static_cast<std::size_t>(s)] = static_cast<IT>(
+          (static_cast<std::int64_t>(n) * s) / k);
+    }
+    return r;
+  }
+
+ private:
+  // ShardLease::Slot must be this exact type; define once and share.
+  using Slot = typename ShardLease<IT, VT>::Slot;
+
+  /// Shared ownership of the store entries: when the last ShardedMatrix
+  /// copy *and* the last lease referencing them die, the entries are
+  /// unregistered (resident accounting dropped, spill files deleted). The
+  /// store must outlive every sharded matrix registered with it.
+  struct Registration {
+    explicit Registration(ShardStore* s) : store(s) {}
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+    ~Registration() {
+      for (const std::size_t id : ids) store->remove(id);
+    }
+    ShardStore* store;
+    std::vector<std::size_t> ids;
+  };
+
+  [[nodiscard]] Slot& slot(int s) const {
+    MSP_ASSERT(s >= 0 && s < shards());
+    return *slots_[static_cast<std::size_t>(s)];
+  }
+
+  static std::size_t payload_bytes(const CsrMatrix<IT, VT>& m) {
+    return m.rowptr.size() * sizeof(IT) + m.colids.size() * sizeof(IT) +
+           m.values.size() * sizeof(VT);
+  }
+
+  /// Validate-and-forward for the aligned constructor: checked *before*
+  /// delegation so a wrong-sized mask gets the specific message rather
+  /// than the generic malformed-ranges one.
+  template <class VT2>
+  static std::vector<IT> aligned_ranges(const CsrMatrix<IT, VT>& m,
+                                        const ShardedMatrix<IT, VT2>& like) {
+    if (m.nrows != like.nrows()) {
+      throw invalid_argument_error(
+          "ShardedMatrix: aligned split requires matching row counts");
+    }
+    return like.ranges();
+  }
+
+  IT nrows_;
+  IT ncols_;
+  std::vector<IT> ranges_;
+  ShardStore* store_;
+  std::shared_ptr<Registration> reg_;
+  std::vector<std::shared_ptr<Slot>> slots_;
+};
+
+/// The per-shard state shared between a ShardedMatrix and its leases.
+template <class IT, class VT>
+struct ShardLease<IT, VT>::Slot {
+  CsrMatrix<IT, VT> data;
+  bool resident = false;
+  std::uint64_t fp = 0;
+  std::uint64_t fp_valued = 0;
+  bool has_valued_fp = false;
+  std::size_t bytes = 0;
+  std::size_t store_id = 0;
+};
+
+}  // namespace msp

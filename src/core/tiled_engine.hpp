@@ -1,0 +1,263 @@
+// Tiled (sharded / out-of-core) masked SpGEMM on top of the Engine facade.
+//
+// A `TiledEngine` answers C = M ⊙ (A·B) where A and M arrive as aligned
+// row-block shards (core/shard.hpp) instead of one resident CSR. It plans
+// and executes shard-by-shard through the wrapped `msp::Engine`'s
+// ExecutionContext:
+//
+//  * B is bound exactly once per call — a caller-supplied BoundMatrix
+//    handle, or a call-local one — so its pattern fingerprint, its CSC
+//    transpose (for the pull-based Inner kernels), and its values version
+//    are shared across every shard through `SpgemmOperandHints`;
+//  * each shard's per-row flops vector is computed at most once and cached
+//    by (shard fingerprint, B fingerprint), then shared into any plan the
+//    context builds for that shard — a repeat call over unchanged patterns
+//    hits K cached plans and recounts nothing;
+//  * shard and mask-shard pattern fingerprints come from the split (they
+//    survive spill/reload), so the per-shard plan-cache lookups hash
+//    nothing at all;
+//  * per-shard results are stitched back into one CSR that is bit-identical
+//    to the monolithic `ExecutionContext::multiply` / Engine call: every
+//    kernel in the library is row-wise, so row blocks compute exactly the
+//    rows the monolithic call would.
+//
+// Shard-level accounting (calls, shard multiplies, ShardStore spills and
+// reloads observed during them) lands in the context's `CacheStats`
+// (tiled_calls / tiled_shards / shard_spills / shard_reloads).
+//
+// This is the scale-out base layer: a future multi-process service driver
+// distributes exactly these per-shard (plan, execute) units, because each
+// one touches only its shard of A/M plus the shared B.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/shard.hpp"
+
+namespace msp {
+
+class TiledEngine {
+ public:
+  /// A self-contained tiled engine owning its Engine (and therefore its
+  /// ExecutionContext / plan cache).
+  explicit TiledEngine(std::size_t max_plans = 64)
+      : owned_(std::make_unique<Engine>(max_plans)), engine_(owned_.get()) {}
+
+  /// Wrap an external Engine: the tiled path then shares its plan cache
+  /// and per-thread scratch with the caller's monolithic calls.
+  explicit TiledEngine(Engine& engine) : engine_(&engine) {}
+
+  [[nodiscard]] Engine& engine() { return *engine_; }
+  [[nodiscard]] ExecutionContext& context() { return engine_->context(); }
+  [[nodiscard]] const ExecutionContext::CacheStats& cache_stats() const {
+    return engine_->cache_stats();
+  }
+
+  /// Tiled C = M ⊙ (A·B) (or complemented): A and M are pre-split over
+  /// identical row ranges; B stays whole. `b_handle`, when bound, must be
+  /// bound to `b` — the steady-state path where B's fingerprint, flops
+  /// partners, and transpose persist across calls. Results are
+  /// bit-identical to the monolithic Engine/ExecutionContext call with the
+  /// same configuration.
+  template <Semiring SR, class IT, class VT, class MT>
+  CsrMatrix<IT, VT> multiply(
+      Scheme scheme, const ShardedMatrix<IT, VT>& a,
+      const CsrMatrix<IT, VT>& b, const ShardedMatrix<IT, MT>& m,
+      MaskKind kind = MaskKind::kMask,
+      MaskSemantics semantics = MaskSemantics::kStructural,
+      MaskedSpgemmStats* stats = nullptr,
+      const std::type_identity_t<BoundMatrix<IT, VT>>* b_handle = nullptr) {
+    require_scheme_supports(scheme, kind);
+    if (a.shards() != m.shards() || a.ranges() != m.ranges()) {
+      throw invalid_argument_error(
+          "TiledEngine: operand and mask must be sharded over identical row "
+          "ranges");
+    }
+    if (a.ncols() != b.nrows || m.ncols() != b.ncols) {
+      throw invalid_argument_error("TiledEngine: dimension mismatch");
+    }
+
+    // Bind B once. A caller handle must be bound to this very operand
+    // (same hazard as Engine::multiply_scheme: a mismatched handle would
+    // key plans with the wrong fingerprint); otherwise bind locally so the
+    // per-shard calls still share one fingerprint/transpose/values-version.
+    BoundMatrix<IT, VT> local_b;
+    const BoundMatrix<IT, VT>* bh = b_handle;
+    if (bh != nullptr && bh->bound()) {
+      if (&bh->matrix() != &b) {
+        throw invalid_argument_error(
+            "TiledEngine: B handle is not bound to the B operand");
+      }
+    } else {
+      local_b = BoundMatrix<IT, VT>(b);
+      bh = &local_b;
+    }
+
+    // Snapshot the stores' spill/reload counters so CacheStats receives
+    // the deltas this call caused (A and M may share one store).
+    std::vector<const ShardStore*> stores;
+    for (const ShardStore* st :
+         {static_cast<const ShardStore*>(a.store()),
+          static_cast<const ShardStore*>(m.store())}) {
+      if (st != nullptr &&
+          std::find(stores.begin(), stores.end(), st) == stores.end()) {
+        stores.push_back(st);
+      }
+    }
+    std::size_t spills0 = 0;
+    std::size_t reloads0 = 0;
+    for (const ShardStore* st : stores) {
+      spills0 += st->stats().spills;
+      reloads0 += st->stats().reloads;
+    }
+
+    const bool valued = semantics == MaskSemantics::kValued;
+    const int k = a.shards();
+    std::vector<CsrMatrix<IT, VT>> parts;
+    parts.reserve(static_cast<std::size_t>(k));
+    MaskedSpgemmStats agg;
+    // Planless baselines report no cache hit / symbolic skip, exactly like
+    // the monolithic Engine's SS path; for planful schemes the flags start
+    // true and AND across shards.
+    const bool planless =
+        scheme == Scheme::kSsDot || scheme == Scheme::kSsSaxpy;
+    agg.plan_cache_hit = !planless;
+    agg.symbolic_skipped = !planless;
+
+    for (int s = 0; s < k; ++s) {
+      const ShardLease<IT, VT> as = a.lease(s);
+      const ShardLease<IT, MT> ms = m.lease(s);
+
+      if (scheme == Scheme::kSsDot || scheme == Scheme::kSsSaxpy) {
+        // SS-style baselines: planless per shard, mirroring the Engine's
+        // monolithic baseline path (including the valued reduction).
+        agg.total_flops += total_flops(*as, b);
+        if (valued) {
+          const CsrMatrix<IT, MT> held = drop_explicit_zeros(*ms);
+          parts.push_back(scheme == Scheme::kSsDot
+                              ? baseline_dot<SR>(*as, b, held, kind)
+                              : baseline_saxpy<SR>(*as, b, held, kind));
+        } else {
+          parts.push_back(scheme == Scheme::kSsDot
+                              ? baseline_dot<SR>(*as, b, *ms, kind)
+                              : baseline_saxpy<SR>(*as, b, *ms, kind));
+        }
+        continue;
+      }
+
+      SpgemmOperandHints<IT, VT> hints;
+      hints.fa = a.fingerprint(s);
+      hints.fb = bh->fingerprint();
+      hints.fm = valued ? m.valued_fingerprint(s) : m.fingerprint(s);
+      hints.flops = flops_for(*hints.fa, *hints.fb, *as, b);
+
+      MaskedSpgemmOptions opt;
+      opt.mask_kind = kind;
+      opt.mask_semantics = semantics;
+      if (scheme == Scheme::kAuto) {
+        std::int64_t shard_flops = 0;
+        for (std::int64_t f : *hints.flops) shard_flops += f;
+        const MaskedSpgemmOptions resolved =
+            auto_scheme_options(shard_flops, ms->nnz(), kind);
+        opt.algorithm = resolved.algorithm;
+        opt.phase = resolved.phase;
+      } else {
+        scheme_to_options(scheme, opt);
+      }
+      if (opt.algorithm == MaskedAlgorithm::kInner) {
+        hints.b_csc = bh->csc_cache();
+        hints.b_values_version = bh->values_version();
+      }
+
+      MaskedSpgemmStats shard_stats;
+      opt.stats = &shard_stats;
+      parts.push_back(
+          engine_->context().multiply<SR>(*as, b, *ms, opt, &hints));
+      absorb_shard(agg, shard_stats);
+    }
+
+    std::size_t spills1 = 0;
+    std::size_t reloads1 = 0;
+    for (const ShardStore* st : stores) {
+      spills1 += st->stats().spills;
+      reloads1 += st->stats().reloads;
+    }
+    engine_->context().record_tiled(static_cast<std::size_t>(k),
+                                    spills1 - spills0, reloads1 - reloads0);
+    if (stats != nullptr) *stats = agg;
+    return stitch_row_blocks(parts, b.ncols);
+  }
+
+  /// Convenience overload: the mask arrives whole and is split (in memory,
+  /// no store) over A's row ranges.
+  template <Semiring SR, class IT, class VT, class MT>
+  CsrMatrix<IT, VT> multiply(
+      Scheme scheme, const ShardedMatrix<IT, VT>& a,
+      const CsrMatrix<IT, VT>& b, const CsrMatrix<IT, MT>& m,
+      MaskKind kind = MaskKind::kMask,
+      MaskSemantics semantics = MaskSemantics::kStructural,
+      MaskedSpgemmStats* stats = nullptr,
+      const std::type_identity_t<BoundMatrix<IT, VT>>* b_handle = nullptr) {
+    const ShardedMatrix<IT, MT> msh(m, a);
+    return multiply<SR>(scheme, a, b, msh, kind, semantics, stats, b_handle);
+  }
+
+ private:
+  /// Per-shard flops of shard·B, cached by (shard fingerprint, B
+  /// fingerprint) — the tiled counterpart of BoundMatrix::flops_with,
+  /// kept here because shard payloads are eviction-mobile and cannot host
+  /// a BoundMatrix. FIFO-bounded: a few calls' worth of shards.
+  static constexpr std::size_t kMaxFlopsEntries = 64;
+
+  template <class IT, class VT>
+  std::shared_ptr<const std::vector<std::int64_t>> flops_for(
+      std::uint64_t fa, std::uint64_t fb, const CsrMatrix<IT, VT>& shard,
+      const CsrMatrix<IT, VT>& b) {
+    for (const auto& e : flops_cache_) {
+      if (e.fa == fa && e.fb == fb &&
+          e.flops->size() == static_cast<std::size_t>(shard.nrows)) {
+        return e.flops;
+      }
+    }
+    auto flops = std::make_shared<const std::vector<std::int64_t>>(
+        row_flops(shard, b));
+    if (flops_cache_.size() >= kMaxFlopsEntries) {
+      flops_cache_.erase(flops_cache_.begin());
+    }
+    flops_cache_.push_back({fa, fb, flops});
+    return flops;
+  }
+
+  /// Fold one shard's execution stats into the call aggregate: timings and
+  /// sizes sum; the cache-hit / symbolic-skipped flags report the whole
+  /// call (true only when every shard hit / skipped).
+  static void absorb_shard(MaskedSpgemmStats& agg,
+                           const MaskedSpgemmStats& s) {
+    agg.symbolic_seconds += s.symbolic_seconds;
+    agg.numeric_seconds += s.numeric_seconds;
+    agg.assemble_seconds += s.assemble_seconds;
+    agg.plan_seconds += s.plan_seconds;
+    agg.output_nnz += s.output_nnz;
+    agg.bound_nnz += s.bound_nnz;
+    agg.total_flops += s.total_flops;
+    agg.plan_cache_hit = agg.plan_cache_hit && s.plan_cache_hit;
+    agg.symbolic_skipped = agg.symbolic_skipped && s.symbolic_skipped;
+  }
+
+  struct FlopsEntry {
+    std::uint64_t fa;
+    std::uint64_t fb;
+    std::shared_ptr<const std::vector<std::int64_t>> flops;
+  };
+
+  std::unique_ptr<Engine> owned_;  // null in non-owning mode
+  Engine* engine_;
+  std::vector<FlopsEntry> flops_cache_;
+};
+
+}  // namespace msp
