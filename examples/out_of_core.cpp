@@ -7,7 +7,8 @@
 //   3. verify the stitched result is bit-identical to the monolithic call
 //      and inspect the spill/reload traffic the budget caused.
 //
-// Usage: example_out_of_core [scale] [shards]   (defaults: 11, 4)
+// Usage: example_out_of_core [scale] [shards] [prefetch]
+// (defaults: 11, 4, 1 — pass prefetch=0 to serialize every shard reload)
 #include <cstdio>
 #include <cstdlib>
 
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   using namespace msp;
   const int scale = argc > 1 ? std::atoi(argv[1]) : 11;
   const int shards = argc > 2 ? std::atoi(argv[2]) : 4;
+  const bool prefetch = argc > 3 ? std::atoi(argv[3]) != 0 : true;
 
   // The triangle-counting product L ⊙ (L·L): L is both the left operand
   // and the mask, so one sharded split serves both roles.
@@ -40,12 +42,16 @@ int main(int argc, char** argv) {
   std::printf("split into %d shards; budget %zu bytes -> resident now %zu "
               "(spilled %zu times during the split)\n",
               lsh.shards(), store.resident_budget(), store.resident_bytes(),
-              store.stats().spills);
+              store.stats().spills.load());
 
   // Shard-by-shard execution through the TiledEngine. B (= L, whole) is
   // bound once internally; each shard's plan lands in the engine's plan
-  // cache keyed by the shard fingerprint computed at split time.
+  // cache keyed by the shard fingerprint computed at split time. With the
+  // prefetch pipeline on, shard k+1's reload runs on the store's
+  // background worker while shard k computes.
   TiledEngine tiled;
+  tiled.set_prefetch(prefetch);
+  std::printf("prefetch pipeline: %s\n", prefetch ? "on" : "off");
   const auto c_tiled =
       tiled.multiply<PlusPair<double>>(Scheme::kMsa2P, lsh, l, lsh);
 
@@ -63,9 +69,10 @@ int main(int argc, char** argv) {
 
   const auto& stats = tiled.cache_stats();
   std::printf("tiled calls %zu, shard multiplies %zu, spills %zu, reloads "
-              "%zu\n",
+              "%zu, prefetch hits %zu, prefetch wasted %zu\n",
               stats.tiled_calls, stats.tiled_shards, stats.shard_spills,
-              stats.shard_reloads);
+              stats.shard_reloads, stats.prefetch_hits,
+              stats.prefetch_wasted);
 
   // A second call over the same shards: every per-shard plan is a cache
   // hit (fingerprints were computed at split time, so nothing is hashed),

@@ -32,6 +32,7 @@ MSP_MULTIMASK_SCALE=${MSP_MULTIMASK_SCALE:-10}
 MSP_BATCH=${MSP_BATCH:-8}
 MSP_ENGINE_SCALE=${MSP_ENGINE_SCALE:-12}
 MSP_SHARDED_SCALE=${MSP_SHARDED_SCALE:-12}
+MSP_SHARD_MBPS=${MSP_SHARD_MBPS:-256}
 MSP_BENCH_THREADS=${MSP_BENCH_THREADS:-}
 
 cmake -B "$BUILD_DIR" -S . \
@@ -60,8 +61,8 @@ MSP_SCALE=$MSP_MULTIMASK_SCALE MSP_BATCH=$MSP_BATCH \
 echo "running bench_engine_reuse (scale $MSP_ENGINE_SCALE, $MSP_REPS reps)" >&2
 MSP_SCALE=$MSP_ENGINE_SCALE \
   "$BUILD_DIR/bench/bench_engine_reuse" > "$ENGINE_TXT"
-echo "running bench_sharded_spgemm (scale $MSP_SHARDED_SCALE, $MSP_REPS reps)" >&2
-MSP_SCALE=$MSP_SHARDED_SCALE \
+echo "running bench_sharded_spgemm (scale $MSP_SHARDED_SCALE, $MSP_REPS reps, $MSP_SHARD_MBPS MiB/s model)" >&2
+MSP_SCALE=$MSP_SHARDED_SCALE MSP_SHARD_MBPS=$MSP_SHARD_MBPS \
   "$BUILD_DIR/bench/bench_sharded_spgemm" > "$SHARDED_TXT"
 # Optional thread-count sweep: one fig10 run per requested thread count.
 for t in $MSP_BENCH_THREADS; do
@@ -121,15 +122,32 @@ thread_sweep_json() {
 }
 
 # Turn the sharded table (one row per configuration: seconds, bit-identical
-# flag, per-call spill/reload counts, budget bytes or "-") into a JSON array.
+# flag, per-call spill/reload counts, prefetch flag or "-", per-call
+# prefetch hit/wasted counts, budget bytes or "-") into a JSON array.
 sharded_json() {
   awk '
     /^#/ { next }
     $1 == "config" { next }
     {
-      printf "%s{\"config\": \"%s\", \"seconds\": %s, \"identical\": %s, \"spills\": %s, \"reloads\": %s, \"budget_bytes\": %s}", \
-        sep, $1, $2, ($3 == 1 ? "true" : "false"), $4, $5, ($6 == "-" ? "null" : $6)
+      printf "%s{\"config\": \"%s\", \"seconds\": %s, \"identical\": %s, \"spills\": %s, \"reloads\": %s, \"prefetch\": %s, \"prefetch_hits\": %s, \"prefetch_wasted\": %s, \"budget_bytes\": %s}", \
+        sep, $1, $2, ($3 == 1 ? "true" : "false"), $4, $5, \
+        ($6 == "-" ? "null" : ($6 == 1 ? "true" : "false")), $7, $8, \
+        ($9 == "-" ? "null" : $9)
       sep = ",\n      "
+    }
+  ' "$SHARDED_TXT"
+}
+
+# The async-prefetch headline: the spill-bound K=4 configuration with the
+# pipeline off vs on, as {off_s, on_s, speedup, identical}.
+sharded_prefetch_json() {
+  awk '
+    $1 == "shards-4-budget" { off = $2; ok_off = $3 }
+    $1 == "shards-4-budget-pf" { on = $2; ok_on = $3 }
+    END {
+      if (off == "" || on == "" || on + 0 == 0) { printf "null"; exit }
+      printf "{\"off_s\": %s, \"on_s\": %s, \"speedup\": %.4f, \"identical\": %s}", \
+        off, on, off / on, (ok_off == 1 && ok_on == 1 ? "true" : "false")
     }
   ' "$SHARDED_TXT"
 }
@@ -185,10 +203,13 @@ DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
     "$MSP_ENGINE_SCALE"
   engine_json
   printf '\n  ]},\n'
-  printf '  "sharded_spgemm": {"scale": %s, "results": [\n      ' \
-    "$MSP_SHARDED_SCALE"
+  printf '  "sharded_spgemm": {"scale": %s, "modeled_mbps": %s, "results": [\n      ' \
+    "$MSP_SHARDED_SCALE" "$MSP_SHARD_MBPS"
   sharded_json
   printf '\n  ]},\n'
+  printf '  "sharded_prefetch": '
+  sharded_prefetch_json
+  printf ',\n'
   printf '  "thread_sweep": '
   thread_sweep_json
   printf ',\n'

@@ -4,6 +4,11 @@
 # `check.sh --sanitize` instead configures an ASan+UBSan build (mirroring
 # the CI sanitizer job) and runs the conformance sweep plus the randomized
 # sharded differential trials: `ctest -L 'conformance|fuzz'`.
+#
+# `check.sh --tsan` configures a ThreadSanitizer build (mirroring the CI
+# tsan job) and runs the concurrency-sensitive suites — the randomized
+# sharded/async trials plus the storage-backend tests:
+# `ctest -L 'fuzz|storage'`.
 set -eu
 cd "$(dirname "$0")/.."
 if [ "${1:-}" = "--sanitize" ]; then
@@ -13,6 +18,11 @@ if [ "${1:-}" = "--sanitize" ]; then
   # -L before the bare -j: a bare -j greedily consumes the next token as
   # its job count on some ctest versions, silently dropping the filter.
   cd build-asan && ctest --output-on-failure -L 'conformance|fuzz' -j
+elif [ "${1:-}" = "--tsan" ]; then
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMSPGEMM_TSAN=ON
+  cmake --build build-tsan -j
+  cd build-tsan && ctest --output-on-failure -L 'fuzz|storage' -j
 else
   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
 fi

@@ -65,6 +65,11 @@ class ExecutionContext {
     std::size_t tiled_shards = 0;  ///< shard multiplies across those calls
     std::size_t shard_spills = 0;  ///< ShardStore evictions during them
     std::size_t shard_reloads = 0; ///< ShardStore reloads during them
+    /// Prefetch effectiveness across tiled calls: pins served by a
+    /// completed background reload vs prefetched payloads evicted unused
+    /// (see ShardStore::Stats; both 0 with prefetch disabled).
+    std::size_t prefetch_hits = 0;
+    std::size_t prefetch_wasted = 0;
     /// O(nnz) pattern hashes actually performed. Calls that provide operand
     /// hints (Engine + BoundMatrix) skip these; the delta between calls and
     /// hashes is the observable fingerprint amortization of bound handles.
@@ -94,11 +99,14 @@ class ExecutionContext {
   /// cumulative stats (called by TiledEngine, which observes its stores'
   /// spill/reload deltas around the shard loop).
   void record_tiled(std::size_t shards, std::size_t spills,
-                    std::size_t reloads) {
+                    std::size_t reloads, std::size_t prefetch_hits = 0,
+                    std::size_t prefetch_wasted = 0) {
     ++stats_.tiled_calls;
     stats_.tiled_shards += shards;
     stats_.shard_spills += spills;
     stats_.shard_reloads += reloads;
+    stats_.prefetch_hits += prefetch_hits;
+    stats_.prefetch_wasted += prefetch_wasted;
   }
 
   /// Test seam: post-transform applied to every pattern fingerprint before

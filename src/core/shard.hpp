@@ -11,38 +11,77 @@
 // stitch the per-shard CSRs back together bit-identically.
 //
 // A `ShardStore` optionally backs one or more sharded matrices with
-// spill-to-disk: shards are serialized into a scratch directory the first
-// time they are evicted and reloaded on demand, under a configurable
-// resident-bytes budget. The contract:
+// spill-to-storage: shards are serialized through a pluggable
+// `StorageBackend` (core/storage.hpp; a local scratch directory by
+// default, mmap reloads unless disabled) the first time they are evicted
+// and reloaded on demand, under a configurable resident-bytes budget.
+// The contract:
 //
 //  * shards a caller currently holds a `ShardLease` on are pinned and
 //    never evicted — the budget is enforced over the *unpinned* resident
 //    set, so it can be transiently exceeded while a multiply needs its
 //    active operand and mask shards in memory;
-//  * eviction is least-recently-used and happens eagerly: whenever a pin
-//    or unpin leaves the unpinned resident set over budget, LRU shards are
-//    spilled until it fits (budget 0 therefore keeps only pinned shards
-//    resident);
+//  * eviction is least-recently-used and happens eagerly: whenever a pin,
+//    unpin, or completed prefetch leaves the unpinned resident set over
+//    budget, LRU shards are spilled until it fits (budget 0 therefore
+//    keeps only pinned shards resident);
 //  * shard payloads are immutable after the split, so each shard is
 //    written at most once — later evictions just drop the resident copy
-//    and later leases read the same file back.
+//    and later leases read the same blob back.
 //
-// The store is scoped like an ExecutionContext: one caller issuing a
-// stream of operations, each of which may parallelize internally. It is
-// not safe to share between concurrent callers.
+// Prefetch. `prefetch(id)` schedules a *background* reload of a spilled
+// shard on the store's completion-queue worker (core/async_io.hpp), so a
+// tiled multiply can overlap shard k+1's reload with shard k's compute.
+// The race semantics are deliberately simple and precise:
+//
+//  * prefetching a shard that is resident, already loading, or dead is a
+//    no-op;
+//  * a shard being loaded (by a prefetch worker or by a concurrent pin)
+//    is in a transient "loading" state: pins arriving meanwhile block on
+//    a condition variable until the load settles, then proceed (hitting
+//    the freshly resident payload, or retrying the load themselves if it
+//    failed);
+//  * a completed prefetch installs the payload as most-recently-used but
+//    *unpinned* — the budget is re-enforced immediately, so under a
+//    budget smaller than the shard itself the payload is evicted on the
+//    spot and the prefetch was wasted (counted in
+//    `stats().prefetch_wasted`). Prefetching pays off when the budget
+//    affords the pinned working set plus at least one shard;
+//  * a prefetch whose backend read fails is swallowed: the shard simply
+//    stays spilled and the next pin retries synchronously (surfacing a
+//    persistent fault as a typed `io_error` at the use site);
+//  * unregistering a shard (`remove`) waits for any in-flight load on it
+//    to settle first, so a dying ShardedMatrix never races its own
+//    reload.
+//
+// Thread safety. The store's internal state is mutex-protected and all
+// public operations (pin/unpin via leases, prefetch, spill_all, stats,
+// accessors) are safe to call from concurrent threads; `Stats` counters
+// are atomics readable without synchronization. Backend I/O runs outside
+// the lock for loads (synchronous and prefetched alike) and under it for
+// eviction writes. What remains single-caller is the *lazy mutation* on
+// ShardedMatrix itself (`valued_fingerprint`), and of course the payload
+// reference obtained from a lease is only valid while that lease lives.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <cstring>
+#include <deque>
 #include <filesystem>
-#include <fstream>
 #include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <random>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "core/async_io.hpp"
 #include "core/plan.hpp"
+#include "core/storage.hpp"
 #include "matrix/csr.hpp"
 #include "util/common.hpp"
 
@@ -50,10 +89,11 @@ namespace msp {
 
 namespace detail {
 
-/// Binary shard file layout: a fixed header (magic, element widths, shape)
-/// followed by the raw rowptr/colids/values arrays. The header is checked
-/// on read so a stray or truncated file fails loudly instead of producing
-/// a malformed matrix.
+/// Binary shard blob layout: a fixed header (magic, element widths, shape)
+/// followed by the raw rowptr/colids/values arrays. The header and the
+/// blob size are checked on deserialize so a stray, corrupt, or truncated
+/// blob fails loudly (typed io_error) instead of producing a malformed
+/// matrix.
 struct ShardFileHeader {
   std::uint64_t magic = 0x4d53505348415244ULL;  // "MSPSHARD"
   std::uint32_t it_bytes = 0;
@@ -64,57 +104,55 @@ struct ShardFileHeader {
 };
 
 template <class IT, class VT>
-void write_shard_file(const std::filesystem::path& path,
-                      const CsrMatrix<IT, VT>& m) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw io_error("ShardStore: cannot open spill file for writing: " +
-                   path.string());
-  }
+std::vector<std::byte> serialize_shard(const CsrMatrix<IT, VT>& m) {
   ShardFileHeader h;
   h.it_bytes = sizeof(IT);
   h.vt_bytes = sizeof(VT);
   h.nrows = static_cast<std::int64_t>(m.nrows);
   h.ncols = static_cast<std::int64_t>(m.ncols);
   h.nnz = static_cast<std::uint64_t>(m.nnz());
-  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
-  out.write(reinterpret_cast<const char*>(m.rowptr.data()),
-            static_cast<std::streamsize>(m.rowptr.size() * sizeof(IT)));
-  out.write(reinterpret_cast<const char*>(m.colids.data()),
-            static_cast<std::streamsize>(m.colids.size() * sizeof(IT)));
-  out.write(reinterpret_cast<const char*>(m.values.data()),
-            static_cast<std::streamsize>(m.values.size() * sizeof(VT)));
-  if (!out) {
-    throw io_error("ShardStore: short write to spill file: " + path.string());
-  }
+  std::vector<std::byte> buf(sizeof(h) + m.rowptr.size() * sizeof(IT) +
+                             m.colids.size() * sizeof(IT) +
+                             m.values.size() * sizeof(VT));
+  std::byte* p = buf.data();
+  std::memcpy(p, &h, sizeof(h));
+  p += sizeof(h);
+  std::memcpy(p, m.rowptr.data(), m.rowptr.size() * sizeof(IT));
+  p += m.rowptr.size() * sizeof(IT);
+  std::memcpy(p, m.colids.data(), m.colids.size() * sizeof(IT));
+  p += m.colids.size() * sizeof(IT);
+  std::memcpy(p, m.values.data(), m.values.size() * sizeof(VT));
+  return buf;
 }
 
 template <class IT, class VT>
-CsrMatrix<IT, VT> read_shard_file(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw io_error("ShardStore: cannot open spill file for reading: " +
-                   path.string());
-  }
+CsrMatrix<IT, VT> deserialize_shard(const std::byte* data, std::size_t size,
+                                    const std::string& what) {
   ShardFileHeader h;
-  in.read(reinterpret_cast<char*>(&h), sizeof(h));
-  if (!in || h.magic != ShardFileHeader{}.magic ||
-      h.it_bytes != sizeof(IT) || h.vt_bytes != sizeof(VT) || h.nrows < 0 ||
-      h.ncols < 0) {
-    throw io_error("ShardStore: malformed spill file: " + path.string());
+  if (size < sizeof(h)) {
+    throw io_error("ShardStore: truncated shard blob: " + what);
   }
+  std::memcpy(&h, data, sizeof(h));
+  if (h.magic != ShardFileHeader{}.magic || h.it_bytes != sizeof(IT) ||
+      h.vt_bytes != sizeof(VT) || h.nrows < 0 || h.ncols < 0) {
+    throw io_error("ShardStore: malformed shard blob: " + what);
+  }
+  const std::size_t rp_bytes =
+      (static_cast<std::size_t>(h.nrows) + 1) * sizeof(IT);
+  const std::size_t ci_bytes = static_cast<std::size_t>(h.nnz) * sizeof(IT);
+  const std::size_t va_bytes = static_cast<std::size_t>(h.nnz) * sizeof(VT);
+  if (size < sizeof(h) + rp_bytes + ci_bytes + va_bytes) {
+    throw io_error("ShardStore: truncated shard blob: " + what);
+  }
+  const std::byte* p = data + sizeof(h);
   std::vector<IT> rowptr(static_cast<std::size_t>(h.nrows) + 1);
   std::vector<IT> colids(static_cast<std::size_t>(h.nnz));
   std::vector<VT> values(static_cast<std::size_t>(h.nnz));
-  in.read(reinterpret_cast<char*>(rowptr.data()),
-          static_cast<std::streamsize>(rowptr.size() * sizeof(IT)));
-  in.read(reinterpret_cast<char*>(colids.data()),
-          static_cast<std::streamsize>(colids.size() * sizeof(IT)));
-  in.read(reinterpret_cast<char*>(values.data()),
-          static_cast<std::streamsize>(values.size() * sizeof(VT)));
-  if (!in) {
-    throw io_error("ShardStore: truncated spill file: " + path.string());
-  }
+  std::memcpy(rowptr.data(), p, rp_bytes);
+  p += rp_bytes;
+  std::memcpy(colids.data(), p, ci_bytes);
+  p += ci_bytes;
+  std::memcpy(values.data(), p, va_bytes);
   return CsrMatrix<IT, VT>(static_cast<IT>(h.nrows), static_cast<IT>(h.ncols),
                            std::move(rowptr), std::move(colids),
                            std::move(values));
@@ -122,73 +160,169 @@ CsrMatrix<IT, VT> read_shard_file(const std::filesystem::path& path) {
 
 }  // namespace detail
 
-/// Spill-to-disk backing for ShardedMatrix: serializes cold shards into a
-/// scratch directory and reloads them on demand, keeping the unpinned
-/// resident set within `resident_budget` bytes (LRU eviction). One store
-/// may back several sharded matrices — e.g. an operand and its aligned
-/// mask share one budget, which is what a real memory cap looks like.
+/// Spill-to-storage backing for ShardedMatrix: serializes cold shards
+/// through a StorageBackend and reloads them on demand (optionally ahead
+/// of demand — see the prefetch contract in the file comment), keeping the
+/// unpinned resident set within `resident_budget` bytes (LRU eviction).
+/// One store may back several sharded matrices — e.g. an operand and its
+/// aligned mask share one budget, which is what a real memory cap looks
+/// like. Thread-safe; see the file comment for the exact contract.
 class ShardStore {
  public:
   struct Options {
     /// High-water mark in bytes for unpinned resident shard payloads.
     /// Defaults to unlimited (shards then never spill).
     std::size_t resident_budget = std::numeric_limits<std::size_t>::max();
-    /// Base directory for spill files. Every store creates its own unique
-    /// subdirectory underneath (so two stores can never collide on shard
-    /// file names) and removes it on destruction. Empty (the default)
-    /// uses the system temp directory; a caller-provided base must exist
-    /// and is itself left in place.
+    /// Base directory for the default local backend. Every store creates
+    /// its own unique subdirectory underneath (so two stores can never
+    /// collide on shard blob names) and removes it on destruction. Empty
+    /// (the default) uses the system temp directory; a caller-provided
+    /// base must exist and is itself left in place. Ignored when
+    /// `backend` is set.
     std::filesystem::path scratch_dir;
+    /// Storage backend for spilled shards. Null (the default) creates a
+    /// local-directory backend under `scratch_dir` — `MmapLocalBackend`
+    /// when `mmap_reload`, `LocalDirBackend` otherwise. A caller-provided
+    /// backend (a remote store, a test double) is shared as-is and must
+    /// outlive nothing: the store keeps a shared_ptr.
+    std::shared_ptr<StorageBackend> backend;
+    /// Reload spilled shards through mmap views instead of streamed reads
+    /// (default backend only; identical bytes either way).
+    bool mmap_reload = true;
+    /// Model true out-of-core storage (default backend only): spilled
+    /// blobs are fsync'd and evicted from the OS page cache after every
+    /// write and read, so each reload pays the real storage-device cost
+    /// instead of a page-cache memcpy. Forces streamed reloads (an mmap
+    /// view would repopulate the cache it just dropped). The regime the
+    /// prefetch pipeline is built for; off by default because tests and
+    /// in-memory-sized runs want the cheap path.
+    bool cold_reads = false;
+    /// When positive, wrap the backend (default or caller-provided) in a
+    /// ThrottledBackend capping apparent bandwidth at this many MiB/s — a
+    /// stand-in for the HDD/S3-class tier an out-of-core deployment would
+    /// actually spill to. 0 (the default) leaves the backend unthrottled.
+    double throttle_mbps = 0;
+    /// Worker threads servicing `prefetch` (created lazily on first use).
+    int prefetch_workers = 1;
   };
 
+  /// Cumulative counters. Atomics: updated under the store lock or by the
+  /// prefetch worker, readable from any thread without synchronization.
   struct Stats {
-    std::size_t spills = 0;   ///< evictions of a resident shard to disk
-    std::size_t reloads = 0;  ///< on-demand loads of a spilled shard
+    std::atomic<std::size_t> spills{0};   ///< evictions of a resident shard
+    std::atomic<std::size_t> reloads{0};  ///< loads of a spilled shard (sync + prefetch)
+    std::atomic<std::size_t> prefetches{0};       ///< background reloads scheduled
+    std::atomic<std::size_t> prefetch_hits{0};    ///< pins served by a completed prefetch
+    std::atomic<std::size_t> prefetch_wasted{0};  ///< prefetched payloads evicted unused
+    std::atomic<std::size_t> prefetch_failed{0};  ///< background reloads that errored
   };
 
   ShardStore() : ShardStore(Options{}) {}
 
-  explicit ShardStore(Options opt) : budget_(opt.resident_budget) {
-    std::filesystem::path base = opt.scratch_dir;
-    if (base.empty()) {
-      base = std::filesystem::temp_directory_path() / "mspgemm-shards";
-      std::error_code ec;
-      std::filesystem::create_directories(base, ec);
-    } else if (!std::filesystem::is_directory(base)) {
-      throw invalid_argument_error("ShardStore: scratch_dir does not exist: " +
-                                   base.string());
+  explicit ShardStore(Options opt)
+      : budget_(opt.resident_budget),
+        prefetch_workers_(opt.prefetch_workers < 1 ? 1
+                                                   : opt.prefetch_workers) {
+    if (opt.backend != nullptr) {
+      backend_ = std::move(opt.backend);
+    } else {
+      std::filesystem::path base = opt.scratch_dir;
+      if (base.empty()) {
+        base = std::filesystem::temp_directory_path() / "mspgemm-shards";
+        std::error_code ec;
+        std::filesystem::create_directories(base, ec);
+      } else if (!std::filesystem::is_directory(base)) {
+        throw invalid_argument_error(
+            "ShardStore: scratch_dir does not exist: " + base.string());
+      }
+      dir_ = unique_scratch_dir(base);
+      if (opt.cold_reads) {
+        backend_ = std::make_shared<LocalDirBackend>(dir_, false,
+                                                     /*cold_reads=*/true);
+      } else if (opt.mmap_reload) {
+        backend_ = std::make_shared<MmapLocalBackend>(dir_);
+      } else {
+        backend_ = std::make_shared<LocalDirBackend>(dir_);
+      }
     }
-    dir_ = unique_scratch_dir(base);
+    if (opt.throttle_mbps > 0) {
+      backend_ = std::make_shared<ThrottledBackend>(
+          backend_, opt.throttle_mbps * 1024.0 * 1024.0);
+    }
   }
 
   ShardStore(const ShardStore&) = delete;
   ShardStore& operator=(const ShardStore&) = delete;
 
   ~ShardStore() {
-    std::error_code ec;
-    std::filesystem::remove_all(dir_, ec);
+    // Settle every in-flight background load before any entry state (or
+    // the backend) goes away; then drop the scratch dir if we created it.
+    async_.reset();
+    if (!dir_.empty()) {
+      backend_.reset();  // close any backend handles into the dir first
+      std::error_code ec;
+      std::filesystem::remove_all(dir_, ec);
+    }
   }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t resident_bytes() const { return resident_bytes_; }
+  [[nodiscard]] std::size_t resident_bytes() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return resident_bytes_;
+  }
   [[nodiscard]] std::size_t resident_budget() const { return budget_; }
+  [[nodiscard]] StorageBackend& backend() const { return *backend_; }
+  /// Scratch directory of the default local backend; empty when the store
+  /// was built over a caller-provided backend.
   [[nodiscard]] const std::filesystem::path& scratch_dir() const {
     return dir_;
   }
 
   /// Evict every unpinned resident shard regardless of budget — a test and
   /// walkthrough hook to force the cold-start path deterministically.
+  /// Shards currently loading are left to settle (they will be budget-
+  /// enforced on install).
   void spill_all() {
-    for (std::size_t id = 0; id < entries_.size(); ++id) {
-      Entry& e = entries_[id];
-      if (!e.dead && e.resident && e.pins == 0) evict(e);
+    std::lock_guard<std::mutex> lk(mu_);
+    for (Entry& e : entries_) {
+      if (!e.dead && e.state == State::kResident && e.pins == 0) evict(e);
     }
   }
 
   /// True while the given registered shard has a resident payload.
   [[nodiscard]] bool resident(std::size_t id) const {
+    std::lock_guard<std::mutex> lk(mu_);
     MSP_ASSERT(id < entries_.size());
-    return entries_[id].resident;
+    return entries_[id].state == State::kResident;
+  }
+
+  /// Schedule a background reload of a spilled shard on the store's
+  /// completion-queue worker. No-op when the shard is resident, already
+  /// loading, or dead. See the file comment for the full race semantics.
+  void prefetch(std::size_t id) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      MSP_ASSERT(id < entries_.size());
+      Entry& e = entries_[id];
+      if (e.dead || e.state != State::kSpilled) return;
+      e.state = State::kLoading;
+      stats_.prefetches.fetch_add(1, std::memory_order_relaxed);
+      if (async_ == nullptr) {
+        async_ = std::make_unique<AsyncOpGroup>(prefetch_workers_);
+      }
+    }
+    async_->submit([this, id] { prefetch_job(id); });
+  }
+
+  /// Block until every scheduled prefetch has settled (test/teardown
+  /// hook; pins already coordinate with in-flight loads on their own).
+  void wait_prefetches() {
+    AsyncOpGroup* g = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      g = async_.get();
+    }
+    if (g != nullptr) g->drain();  // outside mu_: jobs need the lock
   }
 
  private:
@@ -197,30 +331,45 @@ class ShardStore {
   template <class, class>
   friend class ShardLease;
 
+  enum class State {
+    kResident,  ///< payload in memory (counted in resident_bytes)
+    kSpilled,   ///< payload only in the backend
+    kLoading,   ///< a reload (sync pin or prefetch worker) is in flight
+  };
+
+  /// Type-erased staged payload: what `fetch` produces off-lock and
+  /// `install` moves into the shard slot under the lock.
+  using Staged = std::shared_ptr<void>;
+
   struct Entry {
     std::size_t bytes = 0;
-    bool resident = true;
-    bool on_disk = false;
-    bool dead = false;  ///< unregistered (tombstone: ids stay stable)
+    State state = State::kResident;
+    bool on_disk = false;     ///< the backend holds a complete blob
+    bool dead = false;        ///< unregistered (tombstone: ids stay stable)
+    bool prefetched = false;  ///< resident payload came from an unclaimed prefetch
     int pins = 0;
     std::uint64_t tick = 0;
-    std::filesystem::path file;
-    std::function<void(const std::filesystem::path&)> save;
-    std::function<void(const std::filesystem::path&)> load;
+    std::string key;
+    std::function<void(StorageBackend&, const std::string&)> save;
+    std::function<Staged(StorageBackend&, const std::string&)> fetch;
+    std::function<void(Staged)> install;
     std::function<void()> drop;  ///< free the resident payload
   };
 
   /// Register a (currently resident) shard payload; returns its entry id.
   std::size_t add(std::size_t bytes,
-                  std::function<void(const std::filesystem::path&)> save,
-                  std::function<void(const std::filesystem::path&)> load,
+                  std::function<void(StorageBackend&, const std::string&)> save,
+                  std::function<Staged(StorageBackend&, const std::string&)> fetch,
+                  std::function<void(Staged)> install,
                   std::function<void()> drop) {
+    std::lock_guard<std::mutex> lk(mu_);
     Entry e;
     e.bytes = bytes;
     e.tick = ++tick_;
-    e.file = dir_ / ("shard-" + std::to_string(entries_.size()) + ".bin");
+    e.key = "shard-" + std::to_string(entries_.size()) + ".bin";
     e.save = std::move(save);
-    e.load = std::move(load);
+    e.fetch = std::move(fetch);
+    e.install = std::move(install);
     e.drop = std::move(drop);
     entries_.push_back(std::move(e));
     resident_bytes_ += bytes;
@@ -228,67 +377,147 @@ class ShardStore {
     return entries_.size() - 1;
   }
 
-  /// Make the shard resident (reloading if spilled) and pin it against
-  /// eviction. Budget pressure created by the reload is resolved against
-  /// the other, unpinned shards.
+  /// Make the shard resident (reloading if spilled, joining an in-flight
+  /// load if one is running) and pin it against eviction. Budget pressure
+  /// created by the reload is resolved against the other, unpinned
+  /// shards. Throws io_error when the backend read fails or the blob is
+  /// corrupt — with accounting untouched, so a later retry is clean.
   void pin(std::size_t id) {
+    std::unique_lock<std::mutex> lk(mu_);
     MSP_ASSERT(id < entries_.size());
-    Entry& e = entries_[id];
-    if (!e.resident) {
-      e.load(e.file);
-      e.resident = true;
+    Entry& e = entries_[id];  // deque: stable across concurrent add()
+    while (e.state != State::kResident) {
+      if (e.state == State::kLoading) {
+        // A prefetch worker (or another pinner) owns the load; it will
+        // settle to kResident or back to kSpilled and notify.
+        cv_.wait(lk);
+        continue;
+      }
+      // kSpilled: load it ourselves, I/O outside the lock.
+      e.state = State::kLoading;
+      lk.unlock();
+      Staged staged;
+      try {
+        staged = e.fetch(*backend_, e.key);
+      } catch (...) {
+        lk.lock();
+        e.state = State::kSpilled;  // accounting untouched; retry is clean
+        cv_.notify_all();
+        throw;
+      }
+      lk.lock();
+      e.install(std::move(staged));
+      e.state = State::kResident;
       resident_bytes_ += e.bytes;
-      ++stats_.reloads;
+      stats_.reloads.fetch_add(1, std::memory_order_relaxed);
+      cv_.notify_all();
+    }
+    if (e.prefetched) {
+      e.prefetched = false;
+      stats_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
     }
     ++e.pins;
     e.tick = ++tick_;
-    enforce();
+    try {
+      enforce();
+    } catch (...) {
+      --e.pins;  // no lease will be created; keep pin accounting exact
+      throw;
+    }
   }
 
-  void unpin(std::size_t id) {
+  /// Called from lease destructors, so eviction-write failures cannot
+  /// propagate: the victim then simply stays resident (over budget) and
+  /// the next enforcement retries the save — or an explicit spill_all
+  /// surfaces the error.
+  void unpin(std::size_t id) noexcept {
+    std::lock_guard<std::mutex> lk(mu_);
     MSP_ASSERT(id < entries_.size());
     Entry& e = entries_[id];
     MSP_ASSERT(e.pins > 0);
     --e.pins;
-    enforce();
+    try {
+      enforce();
+    } catch (...) {
+    }
   }
 
   /// Unregister a shard whose ShardedMatrix (and every lease) is gone:
-  /// free its resident accounting, delete its spill file, and release the
-  /// payload-owning closures. The entry stays as a tombstone so later ids
-  /// remain stable. Without this, a long-lived store fed by short-lived
-  /// sharded matrices (the per-expansion bc pattern) would accumulate dead
-  /// payloads and spill files for its whole lifetime.
+  /// free its resident accounting, delete its backend blob, and release
+  /// the payload-owning closures. The entry stays as a tombstone so later
+  /// ids remain stable. Waits out any in-flight load on the shard first.
+  /// Without this, a long-lived store fed by short-lived sharded matrices
+  /// (the per-expansion bc pattern) would accumulate dead payloads and
+  /// blobs for its whole lifetime.
   void remove(std::size_t id) {
+    std::unique_lock<std::mutex> lk(mu_);
     MSP_ASSERT(id < entries_.size());
     Entry& e = entries_[id];
     MSP_ASSERT(e.pins == 0);
-    if (e.resident) {
+    while (e.state == State::kLoading) cv_.wait(lk);
+    if (e.state == State::kResident) {
       MSP_ASSERT(resident_bytes_ >= e.bytes);
       resident_bytes_ -= e.bytes;
     }
-    if (e.on_disk) {
-      std::error_code ec;
-      std::filesystem::remove(e.file, ec);
+    if (e.prefetched) {  // prefetched payload dying unclaimed
+      e.prefetched = false;
+      stats_.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
     }
-    e.resident = false;
+    if (e.on_disk) backend_->remove(e.key);
+    e.state = State::kSpilled;
     e.on_disk = false;
     e.dead = true;
     e.save = nullptr;
-    e.load = nullptr;
+    e.fetch = nullptr;
+    e.install = nullptr;
     e.drop = nullptr;
+  }
+
+  /// Body of one scheduled prefetch: the entry was put into kLoading at
+  /// schedule time, so pins block on it and remove() waits it out; dead
+  /// cannot happen underneath us.
+  void prefetch_job(std::size_t id) {
+    std::unique_lock<std::mutex> lk(mu_);
+    Entry& e = entries_[id];
+    MSP_ASSERT(e.state == State::kLoading && !e.dead);
+    auto fetch = e.fetch;
+    const std::string key = e.key;
+    const std::shared_ptr<StorageBackend> backend = backend_;
+    lk.unlock();
+    Staged staged;
+    bool ok = true;
+    try {
+      staged = fetch(*backend, key);
+    } catch (...) {
+      ok = false;  // swallowed: the next pin retries and surfaces the error
+    }
+    lk.lock();
+    if (!ok) {
+      e.state = State::kSpilled;
+      stats_.prefetch_failed.fetch_add(1, std::memory_order_relaxed);
+      cv_.notify_all();
+      return;
+    }
+    e.install(std::move(staged));
+    e.state = State::kResident;
+    e.prefetched = true;
+    e.tick = ++tick_;  // MRU: evicted last among unpinned shards
+    resident_bytes_ += e.bytes;
+    stats_.reloads.fetch_add(1, std::memory_order_relaxed);
+    cv_.notify_all();
+    enforce();
   }
 
   /// Spill LRU unpinned shards until the unpinned resident set fits the
   /// budget. Pinned shards always count toward resident_bytes_ but are
   /// never candidates, so the total can exceed the budget while a multiply
-  /// holds its active shards.
+  /// holds its active shards. Caller holds mu_.
   void enforce() {
     while (true) {
       std::size_t unpinned = 0;
       Entry* victim = nullptr;
       for (Entry& e : entries_) {
-        if (e.dead || !e.resident || e.pins > 0) continue;
+        if (e.dead || e.state != State::kResident || e.pins > 0) continue;
         unpinned += e.bytes;
         if (victim == nullptr || e.tick < victim->tick) victim = &e;
       }
@@ -297,17 +526,24 @@ class ShardStore {
     }
   }
 
+  /// Caller holds mu_. Throws io_error if the backend write fails; the
+  /// entry then stays resident and accounted, so the caller observes a
+  /// consistent (if over-budget) store.
   void evict(Entry& e) {
-    MSP_ASSERT(e.resident && e.pins == 0);
+    MSP_ASSERT(e.state == State::kResident && e.pins == 0);
     if (!e.on_disk) {
-      e.save(e.file);
+      e.save(*backend_, e.key);
       e.on_disk = true;
     }
+    if (e.prefetched) {
+      e.prefetched = false;
+      stats_.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
+    }
     e.drop();
-    e.resident = false;
+    e.state = State::kSpilled;
     MSP_ASSERT(resident_bytes_ >= e.bytes);
     resident_bytes_ -= e.bytes;
-    ++stats_.spills;
+    stats_.spills.fetch_add(1, std::memory_order_relaxed);
   }
 
   static std::filesystem::path unique_scratch_dir(
@@ -324,11 +560,16 @@ class ShardStore {
   }
 
   std::size_t budget_;
-  std::filesystem::path dir_;
-  std::vector<Entry> entries_;
+  int prefetch_workers_;
+  std::filesystem::path dir_;  // empty with a caller-provided backend
+  std::shared_ptr<StorageBackend> backend_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Entry> entries_;  // deque: entry refs survive concurrent add()
   std::size_t resident_bytes_ = 0;
   std::uint64_t tick_ = 0;
   Stats stats_;
+  std::unique_ptr<AsyncOpGroup> async_;  // lazy; destroyed first in ~ShardStore
 };
 
 /// Copy rows [begin, end) of `a` as a self-contained CSR over the full
@@ -416,7 +657,8 @@ class ShardLease {
   ~ShardLease() { release(); }
 
   [[nodiscard]] const CsrMatrix<IT, VT>& matrix() const {
-    MSP_ASSERT(slot_ != nullptr && slot_->resident);
+    MSP_ASSERT(slot_ != nullptr &&
+               slot_->resident.load(std::memory_order_acquire));
     return slot_->data;
   }
   const CsrMatrix<IT, VT>& operator*() const { return matrix(); }
@@ -459,7 +701,8 @@ class ShardLease {
 /// Shards are immutable copies of the source rows; the source matrix is
 /// not referenced after construction, which is what makes spill/reload
 /// safe. Access goes through `lease(s)`, which pins the shard resident for
-/// the lease's lifetime.
+/// the lease's lifetime; `prefetch(s)` asks the store to reload a spilled
+/// shard in the background ahead of its lease.
 template <class IT, class VT>
 class ShardedMatrix {
  public:
@@ -495,26 +738,43 @@ class ShardedMatrix {
       auto slot = std::make_shared<Slot>();
       slot->data = slice_rows(a, ranges_[static_cast<std::size_t>(s)],
                               ranges_[static_cast<std::size_t>(s) + 1]);
-      slot->resident = true;
+      slot->resident.store(true, std::memory_order_relaxed);
       slot->fp = pattern_fingerprint(slot->data, false);
       slot->bytes = payload_bytes(slot->data);
       if (store_ != nullptr) {
         if (reg_ == nullptr) reg_ = std::make_shared<Registration>(store_);
         // The callbacks capture the shared slot, not `this`, so the
         // sharded matrix stays movable and the store outlives nothing.
+        // fetch runs off-lock (possibly on a prefetch worker) and only
+        // builds a staged payload; install/drop mutate the slot and run
+        // under the store lock.
         std::shared_ptr<Slot> sp = slot;
         slot->store_id = store_->add(
             slot->bytes,
-            [sp](const std::filesystem::path& f) {
-              detail::write_shard_file(f, sp->data);
+            /*save=*/
+            [sp](StorageBackend& be, const std::string& key) {
+              const std::vector<std::byte> blob =
+                  detail::serialize_shard(sp->data);
+              be.write(key, blob.data(), blob.size());
             },
-            [sp](const std::filesystem::path& f) {
-              sp->data = detail::read_shard_file<IT, VT>(f);
-              sp->resident = true;
+            /*fetch=*/
+            [](StorageBackend& be, const std::string& key)
+                -> std::shared_ptr<void> {
+              const ReadBuffer blob = be.read(key);
+              return std::make_shared<CsrMatrix<IT, VT>>(
+                  detail::deserialize_shard<IT, VT>(blob.data(), blob.size(),
+                                                    key));
             },
+            /*install=*/
+            [sp](std::shared_ptr<void> staged) {
+              sp->data = std::move(
+                  *std::static_pointer_cast<CsrMatrix<IT, VT>>(staged));
+              sp->resident.store(true, std::memory_order_release);
+            },
+            /*drop=*/
             [sp] {
               sp->data = CsrMatrix<IT, VT>{};
-              sp->resident = false;
+              sp->resident.store(false, std::memory_order_release);
             });
         reg_->ids.push_back(slot->store_id);
       }
@@ -542,6 +802,7 @@ class ShardedMatrix {
 
   /// The shard's valued-semantics fingerprint (pattern + zero/nonzero
   /// bitmap), computed on first use — this may reload a spilled shard.
+  /// Lazy mutation: single-caller, unlike the store operations.
   [[nodiscard]] std::uint64_t valued_fingerprint(int s) const {
     Slot& sl = slot(s);
     if (!sl.has_valued_fp) {
@@ -571,8 +832,41 @@ class ShardedMatrix {
                               store_ != nullptr ? sl.store_id : 0, reg_);
   }
 
+  /// Ask the store to reload shard `s` in the background (no-op without a
+  /// store, or when the shard is already resident/loading).
+  void prefetch(int s) const {
+    if (store_ != nullptr) store_->prefetch(slot(s).store_id);
+  }
+
   /// True while the shard's payload is in memory (always, without a store).
-  [[nodiscard]] bool resident(int s) const { return slot(s).resident; }
+  [[nodiscard]] bool resident(int s) const {
+    return slot(s).resident.load(std::memory_order_acquire);
+  }
+
+  /// Row boundaries whose shard *payloads* are near-equal (nnz-weighted),
+  /// for skewed matrices where even row counts produce wildly uneven
+  /// shards (R-MAT hub rows). Greedy prefix cut: boundary s is the first
+  /// row at which the nnz prefix reaches s/k of the total. Uniform shard
+  /// bytes are what make a spill budget of "two shards" meaningful — the
+  /// prefetch pipeline's documented pay-off regime — instead of being
+  /// dominated by one oversized block.
+  static std::vector<IT> balanced_ranges(const CsrMatrix<IT, VT>& a, int k) {
+    if (k < 1) throw invalid_argument_error("ShardedMatrix: k must be >= 1");
+    const std::int64_t total = static_cast<std::int64_t>(a.nnz());
+    std::vector<IT> r(static_cast<std::size_t>(k) + 1);
+    r[0] = 0;
+    IT row = 0;
+    for (int s = 1; s < k; ++s) {
+      const std::int64_t target = (total * s) / k;
+      while (row < a.nrows &&
+             static_cast<std::int64_t>(a.rowptr[row]) < target) {
+        ++row;
+      }
+      r[static_cast<std::size_t>(s)] = row;
+    }
+    r[static_cast<std::size_t>(k)] = a.nrows;
+    return r;
+  }
 
   /// Near-equal contiguous row boundaries for k shards of n rows.
   static std::vector<IT> even_ranges(IT n, int k) {
@@ -591,8 +885,8 @@ class ShardedMatrix {
 
   /// Shared ownership of the store entries: when the last ShardedMatrix
   /// copy *and* the last lease referencing them die, the entries are
-  /// unregistered (resident accounting dropped, spill files deleted). The
-  /// store must outlive every sharded matrix registered with it.
+  /// unregistered (resident accounting dropped, backend blobs deleted).
+  /// The store must outlive every sharded matrix registered with it.
   struct Registration {
     explicit Registration(ShardStore* s) : store(s) {}
     Registration(const Registration&) = delete;
@@ -636,10 +930,12 @@ class ShardedMatrix {
 };
 
 /// The per-shard state shared between a ShardedMatrix and its leases.
+/// `resident` is atomic: the prefetch worker flips it (under the store
+/// lock) while `ShardedMatrix::resident` may poll from the caller thread.
 template <class IT, class VT>
 struct ShardLease<IT, VT>::Slot {
   CsrMatrix<IT, VT> data;
-  bool resident = false;
+  std::atomic<bool> resident{false};
   std::uint64_t fp = 0;
   std::uint64_t fp_valued = 0;
   bool has_valued_fp = false;

@@ -1,0 +1,363 @@
+// Pluggable storage backends for shard payloads (katana-libtsuba shaped:
+// one `StorageBackend` interface, concrete local implementations now, an
+// S3/GCS-shaped remote backend later).
+//
+// A backend is a flat key → byte-blob store with four operations:
+//
+//   write(id, data, size)   create or replace the blob stored under `id`
+//   read(id)                fetch the blob as a `ReadBuffer`
+//   remove(id)              delete the blob (missing ids are ignored)
+//   exists(id)              probe without reading
+//
+// Failures surface as typed `msp::io_error` exceptions — a backend never
+// returns partial data silently (short writes and unreadable blobs throw),
+// so callers like `ShardStore` can keep their accounting transactional:
+// an operation that throws has not changed what the caller observes.
+//
+// Two production implementations:
+//
+//  * `LocalDirBackend` — one file per id inside a directory, streamed
+//    read/write through fstream (the pre-backend ShardStore behavior,
+//    refactored out of its inline file I/O);
+//  * `MmapLocalBackend` — same write path, but `read` maps the file with
+//    `mmap(2)` and hands out a zero-copy view of the page cache (no
+//    staging-buffer copy; the deserializer copies each array exactly once,
+//    straight from the mapping). Falls back to the streamed read where
+//    mmap is unavailable (non-POSIX builds, special files, empty blobs).
+//
+// Thread safety: backends must tolerate concurrent calls on *distinct*
+// ids — the async prefetch worker (core/async_io.hpp) reads shard k+1
+// while the caller's thread may be spilling shard j. Both implementations
+// here are stateless per call and satisfy that for free; a custom backend
+// with shared mutable state (connection pools, caches) must lock it.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+
+#if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
+#define MSP_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define MSP_HAS_MMAP 0
+#endif
+
+namespace msp {
+
+/// The result of `StorageBackend::read`: a contiguous byte view whose
+/// backing storage is either an owned heap buffer (streamed reads) or an
+/// mmap'd file region unmapped on destruction (katana `FileView` shaped).
+/// Move-only; `truncate_for_testing` shrinks the visible size without
+/// touching the backing storage (the fault-injection rig uses it to model
+/// torn reads).
+class ReadBuffer {
+ public:
+  ReadBuffer() = default;
+  ReadBuffer(const ReadBuffer&) = delete;
+  ReadBuffer& operator=(const ReadBuffer&) = delete;
+  ReadBuffer(ReadBuffer&& o) noexcept { swap(o); }
+  ReadBuffer& operator=(ReadBuffer&& o) noexcept {
+    if (this != &o) {
+      reset();
+      swap(o);
+    }
+    return *this;
+  }
+  ~ReadBuffer() { reset(); }
+
+  static ReadBuffer from_vector(std::vector<std::byte> bytes) {
+    ReadBuffer b;
+    b.owned_ = std::move(bytes);
+    b.data_ = b.owned_.data();
+    b.size_ = b.owned_.size();
+    return b;
+  }
+
+#if MSP_HAS_MMAP
+  /// Adopt an existing mapping; `munmap(addr, length)` runs on destroy.
+  static ReadBuffer from_mapping(void* addr, std::size_t length) {
+    ReadBuffer b;
+    b.map_addr_ = addr;
+    b.map_len_ = length;
+    b.data_ = static_cast<const std::byte*>(addr);
+    b.size_ = length;
+    return b;
+  }
+#endif
+
+  [[nodiscard]] const std::byte* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool mapped() const { return map_addr_ != nullptr; }
+
+  /// Shrink the visible size (never grows). Test seam for torn reads.
+  void truncate_for_testing(std::size_t new_size) {
+    if (new_size < size_) size_ = new_size;
+  }
+
+ private:
+  void reset() {
+#if MSP_HAS_MMAP
+    if (map_addr_ != nullptr) ::munmap(map_addr_, map_len_);
+#endif
+    map_addr_ = nullptr;
+    map_len_ = 0;
+    owned_.clear();
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  void swap(ReadBuffer& o) noexcept {
+    std::swap(owned_, o.owned_);
+    std::swap(map_addr_, o.map_addr_);
+    std::swap(map_len_, o.map_len_);
+    std::swap(data_, o.data_);
+    std::swap(size_, o.size_);
+  }
+
+  std::vector<std::byte> owned_;
+  void* map_addr_ = nullptr;
+  std::size_t map_len_ = 0;
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Abstract key → blob store. See the file comment for the contract.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Create or replace the blob under `id`. Throws io_error on any
+  /// failure (including short writes); a throwing write may leave a
+  /// partial blob behind, but a *returning* write stored every byte.
+  virtual void write(const std::string& id, const void* data,
+                     std::size_t size) = 0;
+
+  /// Fetch the blob under `id`. Throws io_error if missing or unreadable.
+  virtual ReadBuffer read(const std::string& id) = 0;
+
+  /// Delete the blob under `id`; missing ids are silently ignored.
+  virtual void remove(const std::string& id) = 0;
+
+  /// True when a blob is stored under `id`.
+  virtual bool exists(const std::string& id) = 0;
+
+  /// Short human-readable backend name for diagnostics ("local-dir",
+  /// "mmap-local", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// One file per id inside a directory; streamed fstream I/O. The directory
+/// must exist; with `purge_on_destroy` the backend removes it (and every
+/// blob) when it dies — the scratch-store arrangement.
+///
+/// `cold_reads` models true out-of-core storage on POSIX systems: after
+/// every write the blob is fsync'd and dropped from the OS page cache
+/// (`posix_fadvise(DONTNEED)`), and after every streamed read it is
+/// dropped again — so each reload pays the actual storage-device cost
+/// instead of a page-cache memcpy. This is what a dataset that genuinely
+/// does not fit in RAM behaves like, and it is the regime the async
+/// prefetch pipeline exists for. No-op where fadvise is unavailable.
+class LocalDirBackend : public StorageBackend {
+ public:
+  explicit LocalDirBackend(std::filesystem::path dir,
+                           bool purge_on_destroy = false,
+                           bool cold_reads = false)
+      : dir_(std::move(dir)), purge_(purge_on_destroy), cold_(cold_reads) {
+    if (!std::filesystem::is_directory(dir_)) {
+      throw invalid_argument_error("LocalDirBackend: not a directory: " +
+                                   dir_.string());
+    }
+  }
+
+  ~LocalDirBackend() override {
+    if (purge_) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir_, ec);
+    }
+  }
+
+  void write(const std::string& id, const void* data,
+             std::size_t size) override {
+    const std::filesystem::path path = dir_ / id;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw io_error(name() + ": cannot open for writing: " + path.string());
+    }
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+    out.flush();
+    if (!out) {
+      throw io_error(name() + ": short write: " + path.string());
+    }
+    out.close();
+    if (cold_) drop_page_cache(path, /*sync_first=*/true);
+  }
+
+  ReadBuffer read(const std::string& id) override { return read_streamed(id); }
+
+  void remove(const std::string& id) override {
+    std::error_code ec;
+    std::filesystem::remove(dir_ / id, ec);
+  }
+
+  bool exists(const std::string& id) override {
+    std::error_code ec;
+    return std::filesystem::is_regular_file(dir_ / id, ec);
+  }
+
+  [[nodiscard]] std::string name() const override { return "local-dir"; }
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+ protected:
+  /// The streamed read both backends share (mmap falls back to it).
+  ReadBuffer read_streamed(const std::string& id) {
+    const std::filesystem::path path = dir_ / id;
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+      throw io_error(name() + ": cannot open for reading: " + path.string());
+    }
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+    if (!in && size > 0) {
+      throw io_error(name() + ": truncated read: " + path.string());
+    }
+    in.close();
+    if (cold_) drop_page_cache(path, /*sync_first=*/false);
+    return ReadBuffer::from_vector(std::move(bytes));
+  }
+
+  [[nodiscard]] bool cold_reads() const { return cold_; }
+
+ private:
+  /// Evict the file's pages from the OS cache so the next read hits the
+  /// storage device (dirty pages must be synced first or the kernel keeps
+  /// them). Best-effort: a failure just leaves the cache warm.
+  static void drop_page_cache(const std::filesystem::path& path,
+                              bool sync_first) {
+#if MSP_HAS_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return;
+    if (sync_first) ::fsync(fd);
+    ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+    ::close(fd);
+#else
+    (void)path;
+    (void)sync_first;
+#endif
+  }
+
+  std::filesystem::path dir_;
+  bool purge_;
+  bool cold_;
+};
+
+/// LocalDirBackend whose reads are zero-copy `mmap` views of the blob file
+/// (katana `FileView` shaped): no staging-buffer copy, the page cache *is*
+/// the buffer, and consumers copy out of it at most once. Writes and the
+/// rest of the interface are inherited. Where mmap cannot serve (non-POSIX
+/// builds, zero-length blobs, mapping failure) it degrades to the streamed
+/// read, so behavior is identical bar the extra copy.
+class MmapLocalBackend : public LocalDirBackend {
+ public:
+  using LocalDirBackend::LocalDirBackend;
+
+  ReadBuffer read(const std::string& id) override {
+#if MSP_HAS_MMAP
+    const std::filesystem::path path = dir() / id;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      throw io_error(name() + ": cannot open for reading: " + path.string());
+    }
+    struct ::stat st{};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+      ::close(fd);
+      throw io_error(name() + ": cannot stat: " + path.string());
+    }
+    if (st.st_size == 0) {  // mmap of length 0 is EINVAL; empty blob is fine
+      ::close(fd);
+      return ReadBuffer::from_vector({});
+    }
+    void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                        PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping holds its own reference
+    if (addr == MAP_FAILED) {
+      return read_streamed(id);  // e.g. exotic filesystems without mmap
+    }
+    return ReadBuffer::from_mapping(addr,
+                                    static_cast<std::size_t>(st.st_size));
+#else
+    return read_streamed(id);
+#endif
+  }
+
+  [[nodiscard]] std::string name() const override { return "mmap-local"; }
+};
+
+/// Decorator that caps the apparent bandwidth of an inner backend by
+/// sleeping `bytes / bandwidth` around each transfer — a storage *model*
+/// for experiments: local scratch on a fast VM disk stands in for the
+/// HDD- or S3-class tier a genuinely out-of-core deployment would spill
+/// to (~100-250 MB/s). Bit-exact passthrough otherwise; the delay runs on
+/// the calling thread, so a prefetch worker's throttled read overlaps
+/// compute exactly like a slow device would. Thread-safe (stateless per
+/// call, like the backends it wraps).
+class ThrottledBackend : public StorageBackend {
+ public:
+  ThrottledBackend(std::shared_ptr<StorageBackend> inner,
+                   double bytes_per_second)
+      : inner_(std::move(inner)), bps_(bytes_per_second) {
+    if (!(bps_ > 0)) {
+      throw invalid_argument_error(
+          "ThrottledBackend: bandwidth must be positive");
+    }
+  }
+
+  void write(const std::string& id, const void* data,
+             std::size_t size) override {
+    inner_->write(id, data, size);
+    delay(size);
+  }
+
+  ReadBuffer read(const std::string& id) override {
+    ReadBuffer blob = inner_->read(id);
+    delay(blob.size());
+    return blob;
+  }
+
+  void remove(const std::string& id) override { inner_->remove(id); }
+
+  bool exists(const std::string& id) override { return inner_->exists(id); }
+
+  [[nodiscard]] std::string name() const override {
+    return "throttled(" + inner_->name() + ")";
+  }
+
+  [[nodiscard]] double bytes_per_second() const { return bps_; }
+
+ private:
+  void delay(std::size_t bytes) const {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(static_cast<double>(bytes) / bps_));
+  }
+
+  std::shared_ptr<StorageBackend> inner_;
+  double bps_;
+};
+
+}  // namespace msp

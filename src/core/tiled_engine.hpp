@@ -21,9 +21,17 @@
 //    kernel in the library is row-wise, so row blocks compute exactly the
 //    rows the monolithic call would.
 //
-// Shard-level accounting (calls, shard multiplies, ShardStore spills and
-// reloads observed during them) lands in the context's `CacheStats`
-// (tiled_calls / tiled_shards / shard_spills / shard_reloads).
+//  * when the shards live in a spill-capable ShardStore, the engine
+//    prefetches shard k+1's A and M blocks (background reload on the
+//    store's completion-queue worker) while shard k computes, hiding the
+//    cold-shard reload stall; `set_prefetch(false)` serializes the I/O
+//    again. Either way the result is bit-identical — prefetch changes
+//    residency timing, never payload bytes.
+//
+// Shard-level accounting (calls, shard multiplies, ShardStore spills,
+// reloads, and prefetch hit/wasted counts observed during them) lands in
+// the context's `CacheStats` (tiled_calls / tiled_shards / shard_spills /
+// shard_reloads / prefetch_hits / prefetch_wasted).
 //
 // This is the scale-out base layer: a future multi-process service driver
 // distributes exactly these per-shard (plan, execute) units, because each
@@ -57,6 +65,13 @@ class TiledEngine {
   [[nodiscard]] const ExecutionContext::CacheStats& cache_stats() const {
     return engine_->cache_stats();
   }
+
+  /// Prefetch-ahead: while shard k computes, ask the stores to reload
+  /// shard k+1's A and M blocks in the background (ShardStore::prefetch).
+  /// On by default — results are bit-identical either way, only residency
+  /// timing changes; disable to measure or to serialize all I/O.
+  void set_prefetch(bool enabled) { prefetch_ = enabled; }
+  [[nodiscard]] bool prefetch_enabled() const { return prefetch_; }
 
   /// Tiled C = M ⊙ (A·B) (or complemented): A and M are pre-split over
   /// identical row ranges; B stays whole. `b_handle`, when bound, must be
@@ -111,9 +126,13 @@ class TiledEngine {
     }
     std::size_t spills0 = 0;
     std::size_t reloads0 = 0;
+    std::size_t pf_hits0 = 0;
+    std::size_t pf_wasted0 = 0;
     for (const ShardStore* st : stores) {
       spills0 += st->stats().spills;
       reloads0 += st->stats().reloads;
+      pf_hits0 += st->stats().prefetch_hits;
+      pf_wasted0 += st->stats().prefetch_wasted;
     }
 
     const bool valued = semantics == MaskSemantics::kValued;
@@ -132,6 +151,18 @@ class TiledEngine {
     for (int s = 0; s < k; ++s) {
       const ShardLease<IT, VT> as = a.lease(s);
       const ShardLease<IT, MT> ms = m.lease(s);
+      if (prefetch_ && k > 1) {
+        // Overlap the next shard's reload with this shard's compute. The
+        // current leases pin the working set, so the incoming payloads
+        // can only displace idle shards. The last shard wraps around and
+        // prefetches shard 0: iterative callers (bc/ktruss-style repeated
+        // multiplies, bench repetitions) then enter the next call with
+        // every reload pipelined; for a one-shot call it is at worst one
+        // wasted background reload.
+        const int next = s + 1 < k ? s + 1 : 0;
+        a.prefetch(next);
+        m.prefetch(next);
+      }
 
       if (scheme == Scheme::kSsDot || scheme == Scheme::kSsSaxpy) {
         // SS-style baselines: planless per shard, mirroring the Engine's
@@ -183,12 +214,18 @@ class TiledEngine {
 
     std::size_t spills1 = 0;
     std::size_t reloads1 = 0;
+    std::size_t pf_hits1 = 0;
+    std::size_t pf_wasted1 = 0;
     for (const ShardStore* st : stores) {
       spills1 += st->stats().spills;
       reloads1 += st->stats().reloads;
+      pf_hits1 += st->stats().prefetch_hits;
+      pf_wasted1 += st->stats().prefetch_wasted;
     }
     engine_->context().record_tiled(static_cast<std::size_t>(k),
-                                    spills1 - spills0, reloads1 - reloads0);
+                                    spills1 - spills0, reloads1 - reloads0,
+                                    pf_hits1 - pf_hits0,
+                                    pf_wasted1 - pf_wasted0);
     if (stats != nullptr) *stats = agg;
     return stitch_row_blocks(parts, b.ncols);
   }
@@ -257,6 +294,7 @@ class TiledEngine {
 
   std::unique_ptr<Engine> owned_;  // null in non-owning mode
   Engine* engine_;
+  bool prefetch_ = true;
   std::vector<FlopsEntry> flops_cache_;
 };
 

@@ -23,6 +23,8 @@
 #include "core/flops.hpp"            // IWYU pragma: export
 #include "core/masked_spgemm.hpp"    // IWYU pragma: export
 #include "core/plan.hpp"             // IWYU pragma: export
+#include "core/async_io.hpp"         // IWYU pragma: export
+#include "core/storage.hpp"          // IWYU pragma: export
 #include "core/shard.hpp"            // IWYU pragma: export
 #include "core/tiled_engine.hpp"     // IWYU pragma: export
 #include "core/masked_spmv.hpp"      // IWYU pragma: export

@@ -1,0 +1,123 @@
+// FaultInjectionBackend — a StorageBackend decorator that injects
+// scheduled failures into an inner backend, for hardening tests of the
+// spill/reload machinery (tests/test_storage.cpp, tests/test_async_shard
+// .cpp). Failure modes:
+//
+//   fail_next_reads(n)    the next n read() calls throw io_error
+//   fail_next_writes(n)   the next n write() calls throw io_error
+//   refuse_writes(on)     every write() throws an ENOSPC-style io_error
+//                         ("no space left") until turned off
+//   short_next_write()    the next write() silently stores only half the
+//                         payload (a torn write the backend failed to
+//                         detect — consumers must catch it on read)
+//   truncate_next_read()  the next read() returns only half the blob
+//                         (a torn read)
+//
+// Fault state and the operation counters are mutex-protected: the
+// ShardStore prefetch worker calls read() concurrently with the test
+// thread arming faults.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "core/storage.hpp"
+
+namespace msp::testing {
+
+class FaultInjectionBackend : public StorageBackend {
+ public:
+  explicit FaultInjectionBackend(std::shared_ptr<StorageBackend> inner)
+      : inner_(std::move(inner)) {}
+
+  // -- fault schedule -------------------------------------------------------
+  void fail_next_reads(int n) {
+    std::lock_guard<std::mutex> lk(mu_);
+    fail_reads_ = n;
+  }
+  void fail_next_writes(int n) {
+    std::lock_guard<std::mutex> lk(mu_);
+    fail_writes_ = n;
+  }
+  void refuse_writes(bool on) {
+    std::lock_guard<std::mutex> lk(mu_);
+    refuse_writes_ = on;
+  }
+  void short_next_write() {
+    std::lock_guard<std::mutex> lk(mu_);
+    short_write_ = true;
+  }
+  void truncate_next_read() {
+    std::lock_guard<std::mutex> lk(mu_);
+    truncate_read_ = true;
+  }
+
+  // -- observation ----------------------------------------------------------
+  [[nodiscard]] std::size_t reads() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return reads_;
+  }
+  [[nodiscard]] std::size_t writes() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return writes_;
+  }
+  [[nodiscard]] StorageBackend& inner() { return *inner_; }
+
+  // -- StorageBackend -------------------------------------------------------
+  void write(const std::string& id, const void* data,
+             std::size_t size) override {
+    bool shorten = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++writes_;
+      if (refuse_writes_) {
+        throw io_error("fault-injection: no space left on device: " + id);
+      }
+      if (fail_writes_ > 0) {
+        --fail_writes_;
+        throw io_error("fault-injection: injected write error: " + id);
+      }
+      shorten = std::exchange(short_write_, false);
+    }
+    inner_->write(id, data, shorten ? size / 2 : size);
+  }
+
+  ReadBuffer read(const std::string& id) override {
+    bool truncate = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++reads_;
+      if (fail_reads_ > 0) {
+        --fail_reads_;
+        throw io_error("fault-injection: injected read error: " + id);
+      }
+      truncate = std::exchange(truncate_read_, false);
+    }
+    ReadBuffer blob = inner_->read(id);
+    if (truncate) blob.truncate_for_testing(blob.size() / 2);
+    return blob;
+  }
+
+  void remove(const std::string& id) override { inner_->remove(id); }
+
+  bool exists(const std::string& id) override { return inner_->exists(id); }
+
+  [[nodiscard]] std::string name() const override {
+    return "fault-injection(" + inner_->name() + ")";
+  }
+
+ private:
+  std::shared_ptr<StorageBackend> inner_;
+  mutable std::mutex mu_;
+  int fail_reads_ = 0;
+  int fail_writes_ = 0;
+  bool refuse_writes_ = false;
+  bool short_write_ = false;
+  bool truncate_read_ = false;
+  std::size_t reads_ = 0;
+  std::size_t writes_ = 0;
+};
+
+}  // namespace msp::testing

@@ -73,18 +73,32 @@ std::vector<Scheme> scheme_pool() {
 }
 
 /// One random (K, store) draw: no store at all, a zero budget (nothing
-/// stays resident unpinned), or a budget uniform in [0, total_bytes].
+/// stays resident unpinned), or a budget uniform in [0, total_bytes] —
+/// crossed with the tiled engine's prefetch pipeline on/off and the
+/// store's mmap-vs-streamed reload path. Every cell of that grid must be
+/// bit-identical to the monolithic references.
 struct StoreDraw {
   bool use_store = false;
   std::size_t budget = 0;
+  bool prefetch = true;     ///< TiledEngine::set_prefetch axis
+  bool mmap_reload = true;  ///< ShardStore::Options::mmap_reload axis
+  bool balanced = false;    ///< nnz-balanced vs even row-count split
 };
 
 StoreDraw draw_store(Xoshiro256& rng, std::size_t total_bytes) {
+  StoreDraw d;
   switch (rng.next_below(3)) {
-    case 0: return {false, 0};
-    case 1: return {true, 0};
-    default: return {true, rng.next_below(total_bytes + 1)};
+    case 0: break;
+    case 1: d.use_store = true; break;
+    default:
+      d.use_store = true;
+      d.budget = rng.next_below(total_bytes + 1);
+      break;
   }
+  d.prefetch = rng.next_below(2) == 1;
+  d.mmap_reload = rng.next_below(2) == 1;
+  d.balanced = rng.next_below(2) == 1;
+  return d;
 }
 
 /// The monolithic plan/execute reference: ExecutionContext::multiply for
@@ -143,15 +157,24 @@ void run_differential_trial(Xoshiro256& rng) {
   const StoreDraw sd = draw_store(rng, total);
   ShardStore::Options so;
   so.resident_budget = sd.budget;
+  so.mmap_reload = sd.mmap_reload;
   ShardStore store(sd.use_store ? so : ShardStore::Options{});
   ShardStore* sp = sd.use_store ? &store : nullptr;
-  const ShardedMatrix<IT, double> a_sh(c.a, k, sp);
+  const ShardedMatrix<IT, double> a_sh(
+      c.a,
+      sd.balanced ? ShardedMatrix<IT, double>::balanced_ranges(c.a, k)
+                  : ShardedMatrix<IT, double>::even_ranges(c.a.nrows, k),
+      sp);
   const ShardedMatrix<IT, double> m_sh(c.m, a_sh, sp);
   SCOPED_TRACE(::testing::Message()
                << "store=" << (sd.use_store ? "yes" : "no")
-               << " budget=" << sd.budget << "/" << total << " bytes");
+               << " budget=" << sd.budget << "/" << total << " bytes"
+               << " prefetch=" << (sd.prefetch ? "on" : "off")
+               << " reload=" << (sd.mmap_reload ? "mmap" : "stream")
+               << " split=" << (sd.balanced ? "balanced" : "even"));
 
   TiledEngine tiled;
+  tiled.set_prefetch(sd.prefetch);
   const CsrMatrix<IT, double> got =
       tiled.multiply<PlusTimes<double>>(scheme, a_sh, c.b, m_sh, kind, sem);
 
@@ -419,6 +442,122 @@ TEST(ShardedEdge, CacheStatsShardCounters) {
   EXPECT_EQ(stats.tiled_shards, 8u);
   EXPECT_GT(stats.shard_reloads, 0u);  // budget 0 forces per-call reloads
   EXPECT_GT(stats.shard_spills, 0u);
+}
+
+TEST(ShardedEdge, MmapAndStreamedReloadsAreBitIdentical) {
+  // The same split, spilled and reloaded through both local backends, must
+  // produce identical payloads, fingerprints, and tiled products.
+  const auto a = random_csr<int, double>(24, 24, 0.4, 701);
+  const auto b = random_csr<int, double>(24, 24, 0.4, 702);
+  const auto m = random_csr<int, double>(24, 24, 0.5, 703);
+  CsrMatrix<int, double> results[2];
+  for (const bool mmap_reload : {false, true}) {
+    ShardStore::Options so;
+    so.resident_budget = 0;  // every lease is a cold reload
+    so.mmap_reload = mmap_reload;
+    ShardStore store(so);
+    const ShardedMatrix<int, double> a_sh(a, 4, &store);
+    const ShardedMatrix<int, double> m_sh(m, a_sh, &store);
+    store.spill_all();
+    for (int s = 0; s < a_sh.shards(); ++s) {
+      const auto held = a_sh.lease(s);
+      EXPECT_TRUE(csr_equal(slice_rows(a, a_sh.row_begin(s), a_sh.row_end(s)),
+                            held.matrix()))
+          << (mmap_reload ? "mmap" : "streamed") << " reload, shard " << s;
+    }
+    TiledEngine tiled;
+    results[mmap_reload ? 1 : 0] =
+        tiled.multiply<PlusTimes<double>>(Scheme::kMsa1P, a_sh, b, m_sh);
+  }
+  ASSERT_TRUE(csr_equal(results[0], results[1]));
+  ASSERT_TRUE(csr_equal(baseline_saxpy<PlusTimes<double>>(a, b, m),
+                        results[1]));
+}
+
+TEST(ShardedEdge, BalancedRangesEqualizeSkewedPayloads) {
+  // A hub-heavy matrix: row 0 is dense, the rest are sparse — the even
+  // row-count split piles most of the payload into shard 0. The balanced
+  // split must cut by nnz prefix instead, and still stitch bit-identically.
+  const auto a = select(random_csr<int, double>(64, 64, 0.9, 901),
+                        [](int i, int j, const double&) {
+                          return i < 2 || (i + j) % 16 == 0;
+                        });
+  const auto b = random_csr<int, double>(64, 64, 0.3, 902);
+  const auto m = random_csr<int, double>(64, 64, 0.4, 903);
+  const int k = 4;
+
+  const auto ranges = ShardedMatrix<int, double>::balanced_ranges(a, k);
+  ASSERT_EQ(ranges.size(), static_cast<std::size_t>(k) + 1);
+  ASSERT_EQ(ranges.front(), 0);
+  ASSERT_EQ(ranges.back(), a.nrows);
+  for (int s = 0; s < k; ++s) ASSERT_LE(ranges[s], ranges[s + 1]);
+
+  // The balanced split's heaviest shard must carry strictly less of the
+  // payload than the even split's (which holds the whole hub block).
+  auto max_nnz = [&](const std::vector<int>& r) {
+    std::size_t worst = 0;
+    for (int s = 0; s < k; ++s) {
+      worst = std::max(worst,
+                       static_cast<std::size_t>(a.rowptr[r[s + 1]] -
+                                                a.rowptr[r[s]]));
+    }
+    return worst;
+  };
+  EXPECT_LT(max_nnz(ranges),
+            max_nnz(ShardedMatrix<int, double>::even_ranges(a.nrows, k)));
+
+  const ShardedMatrix<int, double> a_sh(a, ranges);
+  const ShardedMatrix<int, double> m_sh(m, a_sh);
+  TiledEngine tiled;
+  const auto got =
+      tiled.multiply<PlusTimes<double>>(Scheme::kMsa2P, a_sh, b, m_sh);
+  EXPECT_TRUE(csr_equal(baseline_saxpy<PlusTimes<double>>(a, b, m), got));
+
+  // Degenerate corners: more shards than nonzero rows (trailing cuts all
+  // land on nrows), an empty matrix, and K = 1.
+  const auto wide = ShardedMatrix<int, double>::balanced_ranges(a, 200);
+  ASSERT_EQ(wide.size(), 201u);
+  EXPECT_EQ(wide.back(), a.nrows);
+  using Sharded = ShardedMatrix<int, double>;
+  const CsrMatrix<int, double> empty(6, 6);
+  const auto er = Sharded::balanced_ranges(empty, 3);
+  EXPECT_EQ(er, (std::vector<int>{0, 0, 0, 6}));
+  EXPECT_EQ(Sharded::balanced_ranges(a, 1), (std::vector<int>{0, a.nrows}));
+  EXPECT_THROW((void)Sharded::balanced_ranges(a, 0), invalid_argument_error);
+}
+
+TEST(ShardedEdge, PrefetchPipelineIsBitIdenticalAndCounted) {
+  // Same operands, prefetch pipeline off vs on. With a budget that affords
+  // one shard beyond the pinned working set, the engine's k+1 prefetches
+  // must convert into hits — and never change a bit of the product.
+  const auto a = random_csr<int, double>(32, 32, 0.4, 711);
+  const auto b = random_csr<int, double>(32, 32, 0.4, 712);
+  const auto m = random_csr<int, double>(32, 32, 0.5, 713);
+  const auto expected = baseline_saxpy<PlusTimes<double>>(a, b, m);
+
+  for (const bool prefetch : {false, true}) {
+    ShardStore store;  // unlimited budget: prefetched payloads stay put
+    const ShardedMatrix<int, double> a_sh(a, 4, &store);
+    const ShardedMatrix<int, double> m_sh(m, a_sh, &store);
+    store.spill_all();  // cold start: every shard begins on the backend
+    TiledEngine tiled;
+    tiled.set_prefetch(prefetch);
+    const auto got =
+        tiled.multiply<PlusTimes<double>>(Scheme::kMsa1P, a_sh, b, m_sh);
+    ASSERT_TRUE(csr_equal(expected, got))
+        << "prefetch=" << (prefetch ? "on" : "off");
+    store.wait_prefetches();
+    const auto& st = store.stats();
+    if (prefetch) {
+      // Shards 1..3 of both A and M are prefetchable behind shard 0.
+      EXPECT_GT(st.prefetches.load(), 0u);
+      EXPECT_GT(st.prefetch_hits.load(), 0u);
+      EXPECT_EQ(tiled.cache_stats().prefetch_hits, st.prefetch_hits.load());
+    } else {
+      EXPECT_EQ(st.prefetches.load(), 0u);
+      EXPECT_EQ(tiled.cache_stats().prefetch_hits, 0u);
+    }
+  }
 }
 
 TEST(ShardedEdge, ShortLivedShardsReleaseTheirStoreEntries) {
