@@ -1,0 +1,87 @@
+// Calibration driver for the kAuto tuning profile (core/tuner.hpp).
+//
+// Two modes:
+//
+//   bench_tuner_calibrate [--quick] [--out PATH]
+//     Run the measurement grid on this machine and write the profile JSON
+//     (default TUNE_profile.json, beside BENCH_baseline.json). `--quick`
+//     is the CI smoke configuration: fewer bins/ratios, smaller inputs,
+//     one repetition — still a valid, loadable profile (marked "quick").
+//
+//   bench_tuner_calibrate --check PATH
+//     Load and schema-validate an existing profile without requiring the
+//     machine fingerprint to match; print a parseable summary and whether
+//     this machine would accept it. Exit 1 on a malformed profile.
+#include <cstdio>
+#include <string>
+
+#include "core/tuner.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+int check_profile(const std::string& path) {
+  using namespace msp;
+  try {
+    const tuner::TuneProfile p =
+        tuner::load_profile(path, /*require_machine_match=*/false);
+    std::size_t measured = 0;
+    for (const auto& row : p.grid) {
+      for (const auto& cell : row) {
+        if (cell.measured()) ++measured;
+      }
+    }
+    const auto here = tuner::MachineFingerprint::current();
+    std::printf("schema %s\n", p.schema.c_str());
+    std::printf("machine %s\n", p.machine.canonical().c_str());
+    std::printf("quick %d\n", p.quick ? 1 : 0);
+    std::printf("density_ratios %zu\n", p.density_ratios.size());
+    std::printf("measured_cells %zu\n", measured);
+    std::printf("phase_crossover %.6g\n", p.phase_crossover);
+    std::printf("machine_match %d\n",
+                p.machine.canonical() == here.canonical() ? 1 : 0);
+    return measured == 0 ? 1 : 0;
+  } catch (const tuner::tune_profile_error& e) {
+    std::fprintf(stderr, "invalid profile: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msp;
+  bool quick = false;
+  std::string out = "TUNE_profile.json";
+  std::string check;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else if (arg == "--check" && i + 1 < argc) {
+      check = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out PATH] | --check PATH\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!check.empty()) return check_profile(check);
+
+  tuner::CalibrationOptions opts;
+  opts.quick = quick;
+  std::fprintf(stderr, "calibrating (%s mode)...\n",
+               quick ? "quick" : "full");
+  Timer t;
+  const tuner::TuneProfile profile = tuner::calibrate(opts);
+  const double seconds = t.seconds();
+  tuner::save_profile(profile, out);
+  std::printf("wrote %s\n", out.c_str());
+  std::printf("machine %s\n", profile.machine.canonical().c_str());
+  std::printf("calibration_seconds %.3f\n", seconds);
+  std::printf("phase_crossover %.6g\n", profile.phase_crossover);
+  return 0;
+}

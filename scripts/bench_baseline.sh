@@ -20,6 +20,13 @@
 #                                   sweep once per count and records a
 #                                   thread_sweep array (parallel-scaling
 #                                   first step); unset records null
+#   MSP_AUTO_SCALE                  scheme_auto tricount R-MAT scale
+#                                   (default 12; acceptance runs use 17)
+#   MSP_TUNE_OUT                    tuning-profile path (TUNE_profile.json);
+#                                   calibrated here and recorded as the
+#                                   scheme_auto entry's profile
+#   MSP_TUNE_FULL                   1 = full calibration grid instead of
+#                                   the quick CI-smoke grid
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -34,6 +41,9 @@ MSP_ENGINE_SCALE=${MSP_ENGINE_SCALE:-12}
 MSP_SHARDED_SCALE=${MSP_SHARDED_SCALE:-12}
 MSP_SHARD_MBPS=${MSP_SHARD_MBPS:-256}
 MSP_BENCH_THREADS=${MSP_BENCH_THREADS:-}
+MSP_AUTO_SCALE=${MSP_AUTO_SCALE:-12}
+MSP_TUNE_OUT=${MSP_TUNE_OUT:-TUNE_profile.json}
+MSP_TUNE_FULL=${MSP_TUNE_FULL:-0}
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Release \
@@ -41,7 +51,8 @@ cmake -B "$BUILD_DIR" -S . \
   -DMSPGEMM_BUILD_TESTS=OFF >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_fig10_tricount_scale \
   --target bench_multimask_batch --target bench_engine_reuse \
-  --target bench_sharded_spgemm >/dev/null
+  --target bench_sharded_spgemm --target bench_tuner_calibrate \
+  --target bench_scheme_auto >/dev/null
 # Best-effort: the micro benchmark target only exists when Google Benchmark
 # is installed; the baseline degrades gracefully without it.
 cmake --build "$BUILD_DIR" -j --target bench_micro_accumulators \
@@ -51,8 +62,20 @@ FIG10_TXT=$(mktemp)
 MULTIMASK_TXT=$(mktemp)
 ENGINE_TXT=$(mktemp)
 SHARDED_TXT=$(mktemp)
+AUTO_TXT=$(mktemp)
 SWEEP_TMP=$(mktemp -d)
-trap 'rm -f "$FIG10_TXT" "$MULTIMASK_TXT" "$ENGINE_TXT" "$SHARDED_TXT"; rm -rf "$SWEEP_TMP"' EXIT
+trap 'rm -f "$FIG10_TXT" "$MULTIMASK_TXT" "$ENGINE_TXT" "$SHARDED_TXT" "$AUTO_TXT"; rm -rf "$SWEEP_TMP"' EXIT
+
+# Calibrate the kAuto tuning profile first (quick grid unless
+# MSP_TUNE_FULL=1): the scheme_auto comparison below loads it through
+# MSP_TUNE_PROFILE, and it ships beside the baseline as its own artifact.
+if [ "$MSP_TUNE_FULL" = "1" ]; then
+  echo "running bench_tuner_calibrate (full grid) -> $MSP_TUNE_OUT" >&2
+  "$BUILD_DIR/bench/bench_tuner_calibrate" --out "$MSP_TUNE_OUT" >&2
+else
+  echo "running bench_tuner_calibrate --quick -> $MSP_TUNE_OUT" >&2
+  "$BUILD_DIR/bench/bench_tuner_calibrate" --quick --out "$MSP_TUNE_OUT" >&2
+fi
 echo "running bench_fig10_tricount_scale (scales $MSP_SCALE_MIN..$MSP_SCALE_MAX, $MSP_REPS reps)" >&2
 "$BUILD_DIR/bench/bench_fig10_tricount_scale" > "$FIG10_TXT"
 echo "running bench_multimask_batch (scale $MSP_MULTIMASK_SCALE, batch $MSP_BATCH, $MSP_REPS reps)" >&2
@@ -64,6 +87,10 @@ MSP_SCALE=$MSP_ENGINE_SCALE \
 echo "running bench_sharded_spgemm (scale $MSP_SHARDED_SCALE, $MSP_REPS reps, $MSP_SHARD_MBPS MiB/s model)" >&2
 MSP_SCALE=$MSP_SHARDED_SCALE MSP_SHARD_MBPS=$MSP_SHARD_MBPS \
   "$BUILD_DIR/bench/bench_sharded_spgemm" > "$SHARDED_TXT"
+echo "running bench_scheme_auto (tricount scale $MSP_AUTO_SCALE, multimask scale $MSP_MULTIMASK_SCALE)" >&2
+MSP_SCALE=$MSP_AUTO_SCALE MSP_MULTIMASK_SCALE=$MSP_MULTIMASK_SCALE \
+  MSP_BATCH=$MSP_BATCH MSP_TUNE_PROFILE=$MSP_TUNE_OUT \
+  "$BUILD_DIR/bench/bench_scheme_auto" > "$AUTO_TXT"
 # Optional thread-count sweep: one fig10 run per requested thread count.
 for t in $MSP_BENCH_THREADS; do
   echo "running bench_fig10_tricount_scale with $t threads" >&2
@@ -152,6 +179,30 @@ sharded_prefetch_json() {
   ' "$SHARDED_TXT"
 }
 
+# Turn the scheme_auto lines (one per workload, space-separated key=value
+# pairs after the workload name) into a JSON array of objects. Numeric
+# values pass through; the best_static scheme name and the identical flag
+# are typed.
+scheme_auto_json() {
+  awk '
+    /^#/ { next }
+    {
+      printf "%s{\"workload\": \"%s\"", sep, $1
+      for (i = 2; i <= NF; i++) {
+        split($i, kv, "=")
+        if (kv[1] == "best_static")
+          printf ", \"%s\": \"%s\"", kv[1], kv[2]
+        else if (kv[1] == "identical")
+          printf ", \"%s\": %s", kv[1], (kv[2] == 1 ? "true" : "false")
+        else
+          printf ", \"%s\": %s", kv[1], kv[2]
+      }
+      printf "}"
+      sep = ",\n      "
+    }
+  ' "$AUTO_TXT"
+}
+
 # Turn the multimask table (one row per scheme: batch/sequential seconds,
 # speedup, warm-batch seconds, bit-identical flag) into a JSON array.
 multimask_json() {
@@ -166,6 +217,9 @@ multimask_json() {
   ' "$MULTIMASK_TXT"
 }
 
+# The micro benchmark is never skipped silently: every path that cannot
+# produce data records an explicit "micro_accumulators": null in the JSON
+# and prints a greppable WARNING to stderr (CI checks for it).
 MICRO_JSON="null"
 if [ -x "$BUILD_DIR/bench/bench_micro_accumulators" ]; then
   echo "running bench_micro_accumulators" >&2
@@ -174,10 +228,12 @@ if [ -x "$BUILD_DIR/bench/bench_micro_accumulators" ]; then
        --benchmark_format=json \
        --benchmark_min_time=0.05 > "$MICRO_TMP" 2>/dev/null; then
     MICRO_JSON=$(cat "$MICRO_TMP")
+  else
+    echo "WARNING: bench_micro_accumulators failed to run; recording \"micro_accumulators\": null" >&2
   fi
   rm -f "$MICRO_TMP"
 else
-  echo "bench_micro_accumulators not built (Google Benchmark missing); skipping" >&2
+  echo "WARNING: bench_micro_accumulators not built (Google Benchmark missing); recording \"micro_accumulators\": null" >&2
 fi
 
 GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
@@ -210,6 +266,10 @@ DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
   printf '  "sharded_prefetch": '
   sharded_prefetch_json
   printf ',\n'
+  printf '  "scheme_auto": {"tricount_scale": %s, "multimask_scale": %s, "batch": %s, "profile": "%s", "results": [\n      ' \
+    "$MSP_AUTO_SCALE" "$MSP_MULTIMASK_SCALE" "$MSP_BATCH" "$MSP_TUNE_OUT"
+  scheme_auto_json
+  printf '\n  ]},\n'
   printf '  "thread_sweep": '
   thread_sweep_json
   printf ',\n'

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/config.hpp"
 #include "core/hash_accumulator.hpp"
 #include "core/heap_kernel.hpp"
 #include "core/msa_accumulator.hpp"
@@ -43,6 +44,12 @@ class AdaptiveKernel {
     long heap_flops_factor = 4;
     /// Use MSA (dense states) while ncols(B) <= msa_max_ncols, else Hash.
     IT msa_max_ncols = IT{1} << 15;
+    /// Calibrated per-flops-bin routing (core/tuner.hpp). When set it
+    /// replaces the two heuristics above: each row is routed by
+    /// table->route[flops_bin(flops(i))]. A Heap entry under a
+    /// complemented mask falls back to the MSA/Hash ncols pick. The table
+    /// must outlive the kernel; it is only read.
+    const AdaptiveRouteTable* table = nullptr;
   };
 
   /// Combined scratch of the three candidate kernels, borrowable from an
@@ -92,6 +99,26 @@ class AdaptiveKernel {
   enum class Route { kHeap, kMsa, kHash };
 
   Route route(IT i) const {
+    if (policy_.table != nullptr) {
+      std::int64_t f;
+      if (flops_ != nullptr) {
+        f = flops_[static_cast<std::size_t>(i)];
+      } else {
+        f = 0;
+        for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
+          const IT k = a_.colids[p];
+          f += static_cast<std::int64_t>(b_.rowptr[k + 1] - b_.rowptr[k]);
+        }
+      }
+      switch (policy_.table->route[static_cast<std::size_t>(flops_bin(f))]) {
+        case RowAlgo::kMsa: return Route::kMsa;
+        case RowAlgo::kHash: return Route::kHash;
+        case RowAlgo::kHeap:
+          if (!complemented_) return Route::kHeap;
+          break;  // Heap has no complement shortcut: fall through below.
+      }
+      return use_msa_ ? Route::kMsa : Route::kHash;
+    }
     // Complemented masks: the heap's NInspect optimization is unavailable
     // (paper §5.5) and its set-difference pass offers no shortcut, so only
     // the MSA/Hash choice remains.

@@ -4,8 +4,11 @@
 // about mask kinds and statistics without pulling in the kernels.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace msp {
 
@@ -105,6 +108,67 @@ struct PlanUsageStats {
   }
 };
 
+/// The row-level accumulator choices the adaptive kernel can be steered
+/// between. A routing table (below) maps each flops-per-row bin to one of
+/// these; Heap is only honoured for regular masks (its set-difference pass
+/// offers no shortcut under complement — paper §5.5).
+enum class RowAlgo : std::uint8_t {
+  kMsa = 0,
+  kHash = 1,
+  kHeap = 2,
+};
+
+/// Number of log2 flops-per-row bins used by the flops histogram, the
+/// tuner's calibration grid, and the adaptive routing table. Bin index is
+/// bit_width(flops) clamped to [0, kFlopsBins) — bin 0 holds zero-flop
+/// rows, bin b holds rows with flops in [2^(b-1), 2^b).
+inline constexpr int kFlopsBins = 64;
+
+/// Bin index for a per-row flops count (see kFlopsBins).
+inline int flops_bin(std::int64_t flops) {
+  const int b = std::bit_width(static_cast<std::uint64_t>(flops > 0 ? flops : 0));
+  return b < kFlopsBins ? b : kFlopsBins - 1;
+}
+
+/// Per-flops-bin routing table for the adaptive kernel: route[b] names the
+/// accumulator for rows whose flops fall in bin b. Produced by the tuner
+/// (core/tuner.hpp) from measured per-bin kernel costs; consumed through
+/// MaskedSpgemmOptions::route_table. Plain data so the planless dispatcher
+/// stays dependency-free.
+struct AdaptiveRouteTable {
+  std::array<RowAlgo, kFlopsBins> route{};  // zero-init routes all to MSA
+};
+
+/// Histogram of per-row flops over the log2 bins — the shape summary the
+/// tuner's model consumes. SpgemmPlan caches one per plan.
+struct FlopsHistogram {
+  std::array<std::int64_t, kFlopsBins> rows{};   ///< row count per bin
+  std::array<std::int64_t, kFlopsBins> flops{};  ///< total flops per bin
+  std::int64_t total_rows = 0;
+  std::int64_t total_flops = 0;
+};
+
+/// Build the histogram from a per-row flops array (as computed by
+/// row_flops / carried by SpgemmPlan).
+inline FlopsHistogram build_flops_histogram(const std::int64_t* row_flops,
+                                            std::size_t nrows) {
+  FlopsHistogram h;
+  h.total_rows = static_cast<std::int64_t>(nrows);
+  for (std::size_t i = 0; i < nrows; ++i) {
+    const std::int64_t f = row_flops[i];
+    const int b = flops_bin(f);
+    ++h.rows[static_cast<std::size_t>(b)];
+    h.flops[static_cast<std::size_t>(b)] += f;
+    h.total_flops += f;
+  }
+  return h;
+}
+
+inline FlopsHistogram build_flops_histogram(
+    const std::vector<std::int64_t>& row_flops) {
+  return build_flops_histogram(row_flops.data(), row_flops.size());
+}
+
 struct MaskedSpgemmOptions {
   MaskedAlgorithm algorithm = MaskedAlgorithm::kMsa;
   MaskedPhase phase = MaskedPhase::kOnePhase;
@@ -121,6 +185,17 @@ struct MaskedSpgemmOptions {
   MaskedSpgemmStats* stats = nullptr;
   /// Structural (default, as in the paper) or valued mask interpretation.
   MaskSemantics mask_semantics = MaskSemantics::kStructural;
+  /// Optional per-flops-bin routing for kAdaptive, produced by the tuner's
+  /// calibrated model. Null keeps the kernel's built-in per-row heuristic.
+  /// The table must outlive the multiply call; it is only read.
+  const AdaptiveRouteTable* route_table = nullptr;
+  /// Set by the calibrated kAuto path: when the execution context's plan
+  /// already carries the exact output structure, upgrade the phase to
+  /// two-phase. A warm two-phase run skips its symbolic pass outright, so
+  /// exact-sized allocation strictly beats one-phase bound buffers plus
+  /// compaction; the crossover model only prices the *cold* trade-off.
+  /// Phase choice never changes the computed bits.
+  bool exact_phase_when_cached = false;
 };
 
 /// Human-readable scheme name, e.g. "MSA-1P" — the labels of paper Fig. 8.

@@ -40,7 +40,9 @@ CsrMatrix<IT, VT> run_scheme(Scheme s, const CsrMatrix<IT, VT>& a,
   MaskedSpgemmOptions opt;
   opt.mask_kind = kind;
   if (s == Scheme::kAuto) {
-    opt = auto_scheme_options(total_flops(a, b), m.nnz(), kind);
+    opt = auto_scheme_options(total_flops(a, b), m.nnz(), kind,
+                              static_cast<std::int64_t>(m.nrows),
+                              static_cast<std::int64_t>(m.ncols));
     return masked_multiply<SR>(a, b, m, opt);
   }
   if (scheme_to_options(s, opt)) {

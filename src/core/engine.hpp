@@ -28,9 +28,13 @@
 //    taking `SemiringId` / `Scheme` / `IndexWidth` enums, so services and
 //    the bench harness dispatch one runtime-described configuration
 //    through one function instead of a template cross-product;
-//  * `Scheme::kAuto` as the runtime-selection seam (documented
-//    flops-density heuristic over the per-row adaptive kernel; see
-//    auto_scheme_options) where the future tuning model plugs in.
+//  * `Scheme::kAuto` as the runtime-selection seam: the documented
+//    flops-density heuristic (auto_scheme_options) by default, or the
+//    calibrated model of core/tuner.hpp when a profile is installed —
+//    `engine.tuned(profile)`, a per-call `.tuned(...)` on the builder, or
+//    the `MSP_TUNE_PROFILE` environment fallback. The tuned path picks the
+//    phase from the measured 1P/2P crossover and steers the adaptive
+//    kernel per flops bin; decisions never change results, only speed.
 //
 // Both the builder and the dyn path produce results bit-identical to the
 // pre-existing `masked_multiply` / `run_scheme` paths — the engine
@@ -51,6 +55,7 @@
 #include "core/flops.hpp"
 #include "core/masked_spmv.hpp"
 #include "core/scheme.hpp"
+#include "core/tuner.hpp"
 #include "matrix/ops.hpp"
 #include "matrix/sparse_vector.hpp"
 #include "semiring/semiring.hpp"
@@ -137,6 +142,41 @@ class Engine {
   void clear() { ctx_->clear(); }
   void reset_stats() { ctx_->reset_stats(); }
 
+  // --- calibrated auto-tuning ----------------------------------------------
+
+  /// Install a calibrated profile (core/tuner.hpp): every subsequent
+  /// Scheme::kAuto resolution runs through the measured model instead of
+  /// the built-in heuristic, with online refinement of the phase
+  /// crossover from observed execution stats unless disabled. Fluent so a
+  /// tuned engine reads `Engine().tuned(profile)`.
+  Engine& tuned(tuner::TuneProfile profile, bool online_refine = true) {
+    selector_ = std::make_unique<tuner::TunedSelector>(std::move(profile),
+                                                       online_refine);
+    env_checked_ = true;
+    return *this;
+  }
+
+  /// Drop any installed profile (and suppress the environment fallback):
+  /// kAuto goes back to the zero-config heuristic.
+  Engine& untuned() {
+    selector_.reset();
+    env_checked_ = true;
+    return *this;
+  }
+
+  /// The active selector: the installed profile, else a one-time lazy
+  /// load of $MSP_TUNE_PROFILE, else null (heuristic kAuto). Exposed so
+  /// layered drivers (TiledEngine) resolve kAuto through the same model.
+  [[nodiscard]] tuner::TunedSelector* tuned_selector() {
+    if (selector_ == nullptr && !env_checked_) {
+      env_checked_ = true;
+      if (const tuner::TuneProfile* p = tuner::env_profile()) {
+        selector_ = std::make_unique<tuner::TunedSelector>(*p);
+      }
+    }
+    return selector_.get();
+  }
+
   /// Bind an operand, pinning its fingerprint/flops/transpose caches to
   /// the returned handle. See bound_matrix.hpp for the mutation contract.
   /// Binding a temporary is deleted — the handle stores a reference and
@@ -190,7 +230,8 @@ class Engine {
       MaskedSpgemmStats* stats = nullptr,
       const std::type_identity_t<BoundMatrix<IT, VT>>* a_handle = nullptr,
       const std::type_identity_t<BoundMatrix<IT, VT>>* b_handle = nullptr,
-      const std::type_identity_t<BoundMatrix<IT, MT>>* m_handle = nullptr) {
+      const std::type_identity_t<BoundMatrix<IT, MT>>* m_handle = nullptr,
+      tuner::TunedSelector* tuner_override = nullptr) {
     require_scheme_supports(scheme, kind);
 
     // Baselines: planless, mirroring the legacy run_scheme context
@@ -247,17 +288,46 @@ class Engine {
     opt.mask_kind = kind;
     opt.mask_semantics = semantics;
     opt.stats = stats;
+    // The tuned decision (route table + stats sink for online refinement)
+    // must outlive the multiply below; declared at call scope.
+    tuner::AutoDecision decision;
+    tuner::TunedSelector* sel = nullptr;
+    MaskedSpgemmStats refine_stats;
     if (scheme == Scheme::kAuto) {
-      std::int64_t flops_total = 0;
-      if (hints.flops != nullptr) {
-        for (std::int64_t f : *hints.flops) flops_total += f;
+      sel = tuner_override != nullptr ? tuner_override : tuned_selector();
+      if (sel != nullptr) {
+        // The model wants the per-row flops histogram. Count once and
+        // share the vector with the plan through the hints, so the tuned
+        // path never scans A/B more than the untuned one.
+        std::shared_ptr<const std::vector<std::int64_t>> flops = hints.flops;
+        if (flops == nullptr) {
+          flops = std::make_shared<const std::vector<std::int64_t>>(
+              row_flops(a, b));
+          hints.flops = flops;
+          any_hint = true;
+        }
+        decision = sel->decide(build_flops_histogram(*flops), m.nnz(),
+                               static_cast<std::int64_t>(m.nrows),
+                               static_cast<std::int64_t>(m.ncols), kind);
+        const MaskedSpgemmOptions& resolved = decision.use_table();
+        opt.algorithm = resolved.algorithm;
+        opt.phase = resolved.phase;
+        opt.route_table = resolved.route_table;
+        opt.exact_phase_when_cached = resolved.exact_phase_when_cached;
+        if (opt.stats == nullptr) opt.stats = &refine_stats;
       } else {
-        flops_total = total_flops(a, b);
+        std::int64_t flops_total = 0;
+        if (hints.flops != nullptr) {
+          for (std::int64_t f : *hints.flops) flops_total += f;
+        } else {
+          flops_total = total_flops(a, b);
+        }
+        const MaskedSpgemmOptions resolved = auto_scheme_options(
+            flops_total, m.nnz(), kind, static_cast<std::int64_t>(m.nrows),
+            static_cast<std::int64_t>(m.ncols));
+        opt.algorithm = resolved.algorithm;
+        opt.phase = resolved.phase;
       }
-      const MaskedSpgemmOptions resolved =
-          auto_scheme_options(flops_total, m.nnz(), kind);
-      opt.algorithm = resolved.algorithm;
-      opt.phase = resolved.phase;
     } else {
       scheme_to_options(scheme, opt);
     }
@@ -267,7 +337,10 @@ class Engine {
       hints.b_values_version = b_handle->values_version();
       any_hint = true;
     }
-    return ctx_->multiply<SR>(a, b, m, opt, any_hint ? &hints : nullptr);
+    CsrMatrix<IT, VT> out =
+        ctx_->multiply<SR>(a, b, m, opt, any_hint ? &hints : nullptr);
+    if (sel != nullptr && opt.stats != nullptr) sel->observe(*opt.stats);
+    return out;
   }
 
   /// Batched counterpart: N masks against one A·B through the context's
@@ -286,6 +359,7 @@ class Engine {
     opt.mask_kind = kind;
     opt.mask_semantics = semantics;
     opt.stats = stats;
+    tuner::AutoDecision decision;  // outlives the batch multiply below
     if (scheme == Scheme::kAuto) {
       // One routing decision for the whole batch, from the average mask.
       std::size_t mask_nnz = 0;
@@ -293,10 +367,23 @@ class Engine {
         if (m != nullptr) mask_nnz += m->nnz();
       }
       if (!masks.empty()) mask_nnz /= masks.size();
-      const MaskedSpgemmOptions resolved =
-          auto_scheme_options(total_flops(a, b), mask_nnz, kind);
-      opt.algorithm = resolved.algorithm;
-      opt.phase = resolved.phase;
+      if (tuner::TunedSelector* sel = tuned_selector()) {
+        decision = sel->decide(build_flops_histogram(row_flops(a, b)),
+                               mask_nnz, static_cast<std::int64_t>(a.nrows),
+                               static_cast<std::int64_t>(b.ncols), kind);
+        const MaskedSpgemmOptions& resolved = decision.use_table();
+        opt.algorithm = resolved.algorithm;
+        opt.phase = resolved.phase;
+        opt.route_table = resolved.route_table;
+        opt.exact_phase_when_cached = resolved.exact_phase_when_cached;
+      } else {
+        const MaskedSpgemmOptions resolved = auto_scheme_options(
+            total_flops(a, b), mask_nnz, kind,
+            static_cast<std::int64_t>(a.nrows),
+            static_cast<std::int64_t>(b.ncols));
+        opt.algorithm = resolved.algorithm;
+        opt.phase = resolved.phase;
+      }
     } else if (!scheme_to_options(scheme, opt)) {
       std::vector<CsrMatrix<IT, VT>> outs;
       outs.reserve(masks.size());
@@ -412,6 +499,11 @@ class Engine {
 
   std::unique_ptr<ExecutionContext> owned_;  // null in non-owning mode
   ExecutionContext* ctx_;
+
+  // Calibrated kAuto selector (null = heuristic). env_checked_ latches the
+  // one-time $MSP_TUNE_PROFILE probe so unset environments cost nothing.
+  std::unique_ptr<tuner::TunedSelector> selector_;
+  bool env_checked_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -431,7 +523,8 @@ class MultiplyBuilder {
                   Scheme scheme = Scheme::kAuto,
                   MaskKind kind = MaskKind::kMask,
                   MaskSemantics semantics = MaskSemantics::kStructural,
-                  MaskedSpgemmStats* stats = nullptr)
+                  MaskedSpgemmStats* stats = nullptr,
+                  std::shared_ptr<tuner::TunedSelector> tuned = nullptr)
       : engine_(&engine),
         a_(&a),
         b_(&b),
@@ -442,7 +535,8 @@ class MultiplyBuilder {
         scheme_(scheme),
         kind_(kind),
         semantics_(semantics),
-        stats_(stats) {}
+        stats_(stats),
+        tuned_(std::move(tuned)) {}
 
   /// Select the scheme (any of the paper's 14, or kAuto).
   MultiplyBuilder& scheme(Scheme s) {
@@ -479,6 +573,21 @@ class MultiplyBuilder {
     return *this;
   }
 
+  /// Resolve kAuto for this call through a calibrated profile, overriding
+  /// whatever the engine holds. The one-shot selector lives only as long
+  /// as the builder; install the profile on the engine (Engine::tuned) to
+  /// keep online refinement across calls.
+  MultiplyBuilder& tuned(const tuner::TuneProfile& profile) {
+    tuned_ = std::make_shared<tuner::TunedSelector>(profile);
+    return *this;
+  }
+
+  /// Share a selector across builders/calls (refinement state included).
+  MultiplyBuilder& tuned(std::shared_ptr<tuner::TunedSelector> selector) {
+    tuned_ = std::move(selector);
+    return *this;
+  }
+
   /// Choose the semiring by template family, applied to the value type:
   /// `.semiring<PlusTimes>()` on double operands means PlusTimes<double>.
   template <template <class> class S>
@@ -500,7 +609,7 @@ class MultiplyBuilder {
         scheme_, *a_, *b_, *m_, kind_, semantics_, stats_,
         a_handle_.bound() ? &a_handle_ : nullptr,
         b_handle_.bound() ? &b_handle_ : nullptr,
-        m_handle_.bound() ? &m_handle_ : nullptr);
+        m_handle_.bound() ? &m_handle_ : nullptr, tuned_.get());
   }
 
  private:
@@ -508,7 +617,7 @@ class MultiplyBuilder {
   [[nodiscard]] MultiplyBuilder<S, IT, VT, MT> with_semiring() const {
     return MultiplyBuilder<S, IT, VT, MT>(*engine_, *a_, a_handle_, *b_,
                                           b_handle_, *m_, m_handle_, scheme_,
-                                          kind_, semantics_, stats_);
+                                          kind_, semantics_, stats_, tuned_);
   }
 
   Engine* engine_;
@@ -522,6 +631,7 @@ class MultiplyBuilder {
   MaskKind kind_;
   MaskSemantics semantics_;
   MaskedSpgemmStats* stats_;
+  std::shared_ptr<tuner::TunedSelector> tuned_;
 };
 
 /// Operand stage of the fluent builder: holds (A, B); `.mask()` fixes the

@@ -215,8 +215,14 @@ class ExecutionContext {
                                       opt.mask_semantics, &hit, hints);
     const CsrMatrix<IT, MT>& mm = plan.effective_mask(m);
     const RowPartition<IT>& partition = plan.ensure_partition(max_threads());
+    // Warm-plan phase upgrade (tuned kAuto): with the output structure
+    // already exported into the plan, two-phase is pure exact numeric.
+    const MaskedPhase phase =
+        opt.exact_phase_when_cached && plan.has_structure()
+            ? MaskedPhase::kTwoPhase
+            : opt.phase;
     const std::vector<std::size_t>* ub = nullptr;
-    if (opt.phase == MaskedPhase::kOnePhase) ub = &plan.ensure_bounds(m);
+    if (phase == MaskedPhase::kOnePhase) ub = &plan.ensure_bounds(m);
     const CscMatrix<IT, VT>* b_csc = nullptr;
     if (opt.algorithm == MaskedAlgorithm::kInner) {
       if (hints != nullptr && hints->b_csc != nullptr) {
@@ -242,7 +248,7 @@ class ExecutionContext {
     std::vector<IT>* sink = plan.structure_sink();
 
     auto run = [&](auto&& factory) {
-      if (opt.phase == MaskedPhase::kOnePhase) {
+      if (phase == MaskedPhase::kOnePhase) {
         return detail::run_one_phase<IT, VT>(m.nrows, b.ncols, *ub, factory,
                                              opt.chunk_rows, opt.stats,
                                              &partition, sink);
@@ -293,7 +299,8 @@ class ExecutionContext {
       case MaskedAlgorithm::kAdaptive: {
         using K = AdaptiveKernel<SR, IT, VT, MT>;
         return run([&](int tid) {
-          return K(a, b, mm, complemented, typename K::Policy{},
+          return K(a, b, mm, complemented,
+                   typename K::Policy{.table = opt.route_table},
                    plan.flops().data(), &scratch<typename K::Scratch>(tid));
         });
       }
@@ -400,9 +407,19 @@ class ExecutionContext {
                  eff[static_cast<std::size_t>(q)]->row_nnz(i) > 0;
         });
 
+    // Warm-plan phase upgrade (tuned kAuto), batch form: only when every
+    // mask's plan already carries the exact structure — the phase is
+    // global to the batch, and a single cold mask would otherwise pay an
+    // unamortized symbolic pass.
+    bool all_structured = opt.exact_phase_when_cached;
+    for (int q = 0; all_structured && q < n; ++q) {
+      all_structured = plans[static_cast<std::size_t>(q)]->has_structure();
+    }
+    const MaskedPhase phase =
+        all_structured ? MaskedPhase::kTwoPhase : opt.phase;
     std::vector<const std::vector<std::size_t>*> ub(
         static_cast<std::size_t>(n), nullptr);
-    if (opt.phase == MaskedPhase::kOnePhase) {
+    if (phase == MaskedPhase::kOnePhase) {
       for (int q = 0; q < n; ++q) {
         ub[static_cast<std::size_t>(q)] =
             &plans[static_cast<std::size_t>(q)]->ensure_bounds(*masks[q]);
@@ -460,7 +477,7 @@ class ExecutionContext {
 
     const IT nrows = masks[0]->nrows;
     auto run = [&](auto&& factory) {
-      if (opt.phase == MaskedPhase::kOnePhase) {
+      if (phase == MaskedPhase::kOnePhase) {
         return detail::run_batch_one_phase<IT, VT>(
             nrows, b.ncols, ub, factory, partition, sinks, opt.stats);
       }
@@ -514,7 +531,7 @@ class ExecutionContext {
         using K = AdaptiveKernel<SR, IT, VT, MT>;
         return run([&](int tid, int q) {
           return K(a, b, *eff[static_cast<std::size_t>(q)], complemented,
-                   typename K::Policy{},
+                   typename K::Policy{.table = opt.route_table},
                    plans[static_cast<std::size_t>(q)]->flops().data(),
                    &scratch<typename K::Scratch>(tid));
         });

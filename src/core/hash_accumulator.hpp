@@ -91,8 +91,9 @@ class HashKernel {
     s_->inserted.clear();
   }
 
-  Slot& probe(IT key, bool& found) {
-    std::size_t idx = hash_key(key) & mask_;
+  /// Probe starting from a precomputed home slot index. Splitting the hash
+  /// from the walk lets the product loops batch the multiplies (below).
+  Slot& probe_at(std::size_t idx, IT key, bool& found) {
     for (;;) {
       Slot& s = s_->slots[idx];
       if (s.epoch != s_->epoch) {
@@ -106,6 +107,24 @@ class HashKernel {
       idx = (idx + 1) & mask_;
     }
   }
+
+  Slot& probe(IT key, bool& found) {
+    return probe_at(hash_key(key) & mask_, key, found);
+  }
+
+  // The product loops visit a whole sorted B row against one table. The
+  // table never grows mid-row, so the home slot of every key in the row is
+  // known up front: compute them a block at a time in a vectorizable loop
+  // and issue prefetches, then walk the probes scalar *in the original
+  // order* — insertions and accumulations happen exactly as before, so the
+  // batching is bit-identical by construction.
+  //
+  // Batching only pays when the probes actually miss cache: below
+  // kProbeBlockMinSlots (~96 KiB of slots, past L1) the table is
+  // cache-resident and the extra precompute pass is pure overhead, so
+  // small rows keep the plain fused loop.
+  static constexpr std::size_t kProbeBlock = 16;
+  static constexpr std::size_t kProbeBlockMinSlots = std::size_t{1} << 12;
 
   IT numeric_plain(IT i, IT* out_cols, VT* out_vals) {
     return row_plain<true>(i, out_cols, out_vals);
@@ -129,22 +148,50 @@ class HashKernel {
         s.state = EntryState::kAllowed;
       }
     }
+    const bool blocked = s_->slots.size() >= kProbeBlockMinSlots;
     for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
       const IT k = a_.colids[p];
       const VT av = a_.values[p];
-      for (IT q = b_.rowptr[k]; q < b_.rowptr[k + 1]; ++q) {
+      const IT* const bcols = b_.colids.data() + b_.rowptr[k];
+      const VT* const bvals = b_.values.data() + b_.rowptr[k];
+      const auto blen = static_cast<std::size_t>(b_.rowptr[k + 1] -
+                                                 b_.rowptr[k]);
+      const auto visit = [&](std::size_t q, std::size_t home_idx) {
         bool found;
-        Slot& s = probe(b_.colids[q], found);
-        if (!found) continue;  // key not in mask: product discarded unpaid
+        Slot& s = probe_at(home_idx, bcols[q], found);
+        if (!found) return;  // key not in mask: product discarded unpaid
         if constexpr (Numeric) {
           if (s.state == EntryState::kSet) {
-            s.value = SR::add(s.value, SR::multiply(av, b_.values[q]));
+            s.value = SR::add(s.value, SR::multiply(av, bvals[q]));
           } else {
-            s.value = SR::multiply(av, b_.values[q]);
+            s.value = SR::multiply(av, bvals[q]);
             s.state = EntryState::kSet;
           }
         } else {
           s.state = EntryState::kSet;
+        }
+      };
+      if (!blocked) {
+        for (std::size_t q = 0; q < blen; ++q) {
+          visit(q, hash_key(bcols[q]) & mask_);
+        }
+        continue;
+      }
+      Slot* const slots = s_->slots.data();
+      for (std::size_t q0 = 0; q0 < blen; q0 += kProbeBlock) {
+        const std::size_t blk = std::min(kProbeBlock, blen - q0);
+        std::size_t home[kProbeBlock];
+#pragma omp simd
+        for (std::size_t t = 0; t < blk; ++t) {
+          home[t] = hash_key(bcols[q0 + t]) & mask_;
+        }
+#if defined(__GNUC__) || defined(__clang__)
+        for (std::size_t t = 0; t < blk; ++t) {
+          __builtin_prefetch(&slots[home[t]], 0, 1);
+        }
+#endif
+        for (std::size_t t = 0; t < blk; ++t) {
+          visit(q0 + t, home[t]);
         }
       }
     }
@@ -190,25 +237,53 @@ class HashKernel {
         s.state = EntryState::kNotAllowed;
       }
     }
+    const bool blocked = s_->slots.size() >= kProbeBlockMinSlots;
     for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
       const IT k = a_.colids[p];
       const VT av = a_.values[p];
-      for (IT q = b_.rowptr[k]; q < b_.rowptr[k + 1]; ++q) {
-        const IT j = b_.colids[q];
+      const IT* const bcols = b_.colids.data() + b_.rowptr[k];
+      const VT* const bvals = b_.values.data() + b_.rowptr[k];
+      const auto blen = static_cast<std::size_t>(b_.rowptr[k + 1] -
+                                                 b_.rowptr[k]);
+      const auto visit = [&](std::size_t q, std::size_t home_idx) {
+        const IT j = bcols[q];
         bool found;
-        Slot& s = probe(j, found);
+        Slot& s = probe_at(home_idx, j, found);
         if (!found) {
           s.key = j;
           s.epoch = s_->epoch;
           s.state = EntryState::kSet;
-          if constexpr (Numeric) s.value = SR::multiply(av, b_.values[q]);
+          if constexpr (Numeric) s.value = SR::multiply(av, bvals[q]);
           s_->inserted.push_back(j);
         } else if (s.state == EntryState::kSet) {
           if constexpr (Numeric) {
-            s.value = SR::add(s.value, SR::multiply(av, b_.values[q]));
+            s.value = SR::add(s.value, SR::multiply(av, bvals[q]));
           }
         }
         // NOTALLOWED (mask hit): discard without evaluating further.
+      };
+      if (!blocked) {
+        for (std::size_t q = 0; q < blen; ++q) {
+          visit(q, hash_key(bcols[q]) & mask_);
+        }
+        continue;
+      }
+      Slot* const slots = s_->slots.data();
+      for (std::size_t q0 = 0; q0 < blen; q0 += kProbeBlock) {
+        const std::size_t blk = std::min(kProbeBlock, blen - q0);
+        std::size_t home[kProbeBlock];
+#pragma omp simd
+        for (std::size_t t = 0; t < blk; ++t) {
+          home[t] = hash_key(bcols[q0 + t]) & mask_;
+        }
+#if defined(__GNUC__) || defined(__clang__)
+        for (std::size_t t = 0; t < blk; ++t) {
+          __builtin_prefetch(&slots[home[t]], 0, 1);
+        }
+#endif
+        for (std::size_t t = 0; t < blk; ++t) {
+          visit(q0 + t, home[t]);
+        }
       }
     }
     if constexpr (!Numeric) return static_cast<IT>(s_->inserted.size());

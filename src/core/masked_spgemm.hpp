@@ -574,8 +574,10 @@ CsrMatrix<IT, VT> masked_multiply(const CsrMatrix<IT, VT>& a,
       return detail::run_with_phase<IT, VT>(m.nrows, b.ncols, ub_ptr, f, opt);
     }
     case MaskedAlgorithm::kAdaptive: {
+      using K = AdaptiveKernel<SR, IT, VT, MT>;
       auto f = [&](int) {
-        return AdaptiveKernel<SR, IT, VT, MT>(a, b, m, complemented);
+        return K(a, b, m, complemented,
+                 typename K::Policy{.table = opt.route_table});
       };
       return detail::run_with_phase<IT, VT>(m.nrows, b.ncols, ub_ptr, f, opt);
     }

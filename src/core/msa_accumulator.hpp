@@ -89,29 +89,78 @@ class MsaKernel {
   }
 
  private:
+  // The plain (non-complemented) paths are written branch-free over the
+  // SoA state/value lanes so the compiler can autovectorize them. Within
+  // one inner loop over a B row the column ids are strictly increasing
+  // (CsrMatrix invariant), so the scattered updates touch distinct lanes
+  // and `omp simd` is sound; select-stores replace the state branches.
+  // Bit-identity with the branchy form: per output column the sequence of
+  // SR::add applications is unchanged (one per visiting (p,q) in the same
+  // order), and a not-admitted lane is rewritten with its own loaded
+  // value — the semiring ops stay unevaluated-in-effect for it.
+  //
+  // The select-stores trade a perfectly predicted skip branch for
+  // unconditional value/state traffic on every visited lane, which only
+  // pays when a noticeable fraction of lanes are admitted. Rows whose mask
+  // density is below 1/2^kSimdMaskDensityShift of ncols keep the branchy
+  // early-skip loop — there the product is almost always discarded and the
+  // branch-free form is pure extra multiplies and dirtied cache lines.
+  static constexpr int kSimdMaskDensityShift = 7;
+
+  bool branch_free_row(std::ptrdiff_t mask_len) const {
+    return (mask_len << kSimdMaskDensityShift) >=
+           static_cast<std::ptrdiff_t>(b_.ncols);
+  }
+
   IT numeric_plain(IT i, IT* out_cols, VT* out_vals) {
     const auto mcols = m_.row_cols(i);
     if (mcols.empty()) return 0;
-    auto& states = s_->states;
-    auto& values = s_->values;
-    for (IT j : mcols) {
-      states[static_cast<std::size_t>(j)] = EntryState::kAllowed;
+    auto* const states = s_->states.data();
+    auto* const values = s_->values.data();
+    const IT* const madm = mcols.data();
+    const auto mlen = static_cast<std::ptrdiff_t>(mcols.size());
+    // Mask-admit scatter: distinct sorted columns, one byte store each.
+#pragma omp simd
+    for (std::ptrdiff_t t = 0; t < mlen; ++t) {
+      states[static_cast<std::size_t>(madm[t])] = EntryState::kAllowed;
     }
+    const bool branch_free = branch_free_row(mlen);
     for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
       const IT k = a_.colids[p];
       const VT av = a_.values[p];
-      for (IT q = b_.rowptr[k]; q < b_.rowptr[k + 1]; ++q) {
-        const std::size_t j = static_cast<std::size_t>(b_.colids[q]);
-        if (states[j] == EntryState::kSet) {
-          values[j] = SR::add(values[j], SR::multiply(av, b_.values[q]));
-        } else if (states[j] == EntryState::kAllowed) {
-          values[j] = SR::multiply(av, b_.values[q]);
+      const IT* const bcols = b_.colids.data() + b_.rowptr[k];
+      const VT* const bvals = b_.values.data() + b_.rowptr[k];
+      const auto blen =
+          static_cast<std::ptrdiff_t>(b_.rowptr[k + 1] - b_.rowptr[k]);
+      if (!branch_free) {
+        for (std::ptrdiff_t q = 0; q < blen; ++q) {
+          const std::size_t j = static_cast<std::size_t>(bcols[q]);
+          const EntryState st = states[j];
+          if (st == EntryState::kNotAllowed) continue;
+          const VT prod = SR::multiply(av, bvals[q]);
+          values[j] = st == EntryState::kSet ? SR::add(values[j], prod) : prod;
           states[j] = EntryState::kSet;
         }
+        continue;
+      }
+#pragma omp simd
+      for (std::ptrdiff_t q = 0; q < blen; ++q) {
+        const std::size_t j = static_cast<std::size_t>(bcols[q]);
+        const EntryState st = states[j];
+        const VT cur = values[j];
+        const VT prod = SR::multiply(av, bvals[q]);
+        values[j] = st == EntryState::kSet       ? SR::add(cur, prod)
+                    : st == EntryState::kAllowed ? prod
+                                                 : cur;
+        states[j] = st == EntryState::kNotAllowed ? st : EntryState::kSet;
       }
     }
+    // Contiguous mask-order gather. The output store stays guarded: the
+    // caller's buffer may be sized to the exact row count (2P numeric),
+    // so an unconditional compaction store could run past it.
     IT cnt = 0;
-    for (IT j : mcols) {
+    for (std::ptrdiff_t t = 0; t < mlen; ++t) {
+      const IT j = madm[t];
       const std::size_t js = static_cast<std::size_t>(j);
       if (states[js] == EntryState::kSet) {
         out_cols[cnt] = j;
@@ -126,21 +175,38 @@ class MsaKernel {
   IT symbolic_plain(IT i) {
     const auto mcols = m_.row_cols(i);
     if (mcols.empty()) return 0;
-    auto& states = s_->states;
-    for (IT j : mcols) {
-      states[static_cast<std::size_t>(j)] = EntryState::kAllowed;
+    auto* const states = s_->states.data();
+    const IT* const madm = mcols.data();
+    const auto mlen = static_cast<std::ptrdiff_t>(mcols.size());
+#pragma omp simd
+    for (std::ptrdiff_t t = 0; t < mlen; ++t) {
+      states[static_cast<std::size_t>(madm[t])] = EntryState::kAllowed;
     }
+    const bool branch_free = branch_free_row(mlen);
     for (IT p = a_.rowptr[i]; p < a_.rowptr[i + 1]; ++p) {
       const IT k = a_.colids[p];
-      for (IT q = b_.rowptr[k]; q < b_.rowptr[k + 1]; ++q) {
-        const std::size_t j = static_cast<std::size_t>(b_.colids[q]);
-        if (states[j] == EntryState::kAllowed) states[j] = EntryState::kSet;
+      const IT* const bcols = b_.colids.data() + b_.rowptr[k];
+      const auto blen =
+          static_cast<std::ptrdiff_t>(b_.rowptr[k + 1] - b_.rowptr[k]);
+      if (!branch_free) {
+        for (std::ptrdiff_t q = 0; q < blen; ++q) {
+          const std::size_t j = static_cast<std::size_t>(bcols[q]);
+          if (states[j] == EntryState::kAllowed) states[j] = EntryState::kSet;
+        }
+        continue;
+      }
+#pragma omp simd
+      for (std::ptrdiff_t q = 0; q < blen; ++q) {
+        const std::size_t j = static_cast<std::size_t>(bcols[q]);
+        const EntryState st = states[j];
+        states[j] = st == EntryState::kAllowed ? EntryState::kSet : st;
       }
     }
     IT cnt = 0;
-    for (IT j : mcols) {
-      const std::size_t js = static_cast<std::size_t>(j);
-      if (states[js] == EntryState::kSet) ++cnt;
+#pragma omp simd reduction(+ : cnt)
+    for (std::ptrdiff_t t = 0; t < mlen; ++t) {
+      const std::size_t js = static_cast<std::size_t>(madm[t]);
+      cnt += states[js] == EntryState::kSet ? IT{1} : IT{0};
       states[js] = EntryState::kNotAllowed;
     }
     return cnt;

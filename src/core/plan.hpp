@@ -450,6 +450,17 @@ class SpgemmPlan {
   }
   [[nodiscard]] std::int64_t total_flops() const { return total_flops_; }
 
+  /// Log2-binned shape summary of the per-row flops — the input of the
+  /// tuner's per-bin routing model (core/tuner.hpp). Built on first use,
+  /// cached for the plan's lifetime (the flops vector is immutable).
+  const FlopsHistogram& flops_histogram() {
+    if (!histogram_built_) {
+      histogram_ = build_flops_histogram(*flops_);
+      histogram_built_ = true;
+    }
+    return histogram_;
+  }
+
   /// One-phase per-row output bounds. With flops in hand the plan's bound
   /// is min(nnz(M(i,:)), flops(i)) — tighter than the planless nnz(M(i,:))
   /// — and min(ncols − nnz(M(i,:)), flops(i)) for a complemented mask.
@@ -548,6 +559,9 @@ class SpgemmPlan {
   CsrMatrix<IT, MT> filtered_;  // valued semantics only
   std::shared_ptr<const std::vector<std::int64_t>> flops_;  // batch-shareable
   std::int64_t total_flops_ = 0;
+
+  FlopsHistogram histogram_;            // lazy (histogram_built_)
+  bool histogram_built_ = false;
 
   std::vector<std::size_t> bounds_;     // lazy, 1P
   std::vector<IT> structure_rowptr_;    // lazy, 2P (or adopted from 1P)

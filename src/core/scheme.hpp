@@ -189,19 +189,31 @@ inline bool scheme_to_options(Scheme s, MaskedSpgemmOptions& opt) {
 ///    to MSA/Hash/Heap by its own flops (paper §9's future-work hybrid) —
 ///    a per-row decision strictly finer than any whole-matrix pick;
 ///  * phase: one-phase while the mask is a tight size bound — i.e. the
-///    total admitted positions nnz(M) do not exceed the total flops (the
-///    paper's §6 observation that 1P wins when its temporary is close to
-///    the real output) — and two-phase otherwise, including every
-///    complemented call, whose 1P bound (ncols − nnz(M) per row) is
-///    almost always vacuous.
+///    total admitted positions do not exceed the total flops (the paper's
+///    §6 observation that 1P wins when its temporary is close to the real
+///    output) — and two-phase otherwise. For a regular mask the admitted
+///    positions are nnz(M); for a complemented mask they are
+///    nrows·ncols − nnz(M), so the complement decision is now a computed
+///    bound test rather than "always 2P": a near-full mask whose
+///    complement admits few positions correctly lands on one-phase.
+///
+/// The dimensions are taken as int64 (not an index template parameter) so
+/// every dispatch layer can call this without instantiation; the product
+/// nrows·ncols is evaluated in double to dodge int64 overflow — a
+/// threshold test needs no exactness at that magnitude.
 inline MaskedSpgemmOptions auto_scheme_options(std::int64_t total_flops,
                                                std::size_t mask_nnz,
-                                               MaskKind kind) {
+                                               MaskKind kind,
+                                               std::int64_t nrows,
+                                               std::int64_t ncols) {
   MaskedSpgemmOptions opt;
   opt.algorithm = MaskedAlgorithm::kAdaptive;
-  const bool tight_bound =
-      kind == MaskKind::kMask &&
-      static_cast<std::int64_t>(mask_nnz) <= total_flops;
+  const double admitted =
+      kind == MaskKind::kMask
+          ? static_cast<double>(mask_nnz)
+          : static_cast<double>(nrows) * static_cast<double>(ncols) -
+                static_cast<double>(mask_nnz);
+  const bool tight_bound = admitted <= static_cast<double>(total_flops);
   opt.phase = tight_bound ? MaskedPhase::kOnePhase : MaskedPhase::kTwoPhase;
   opt.mask_kind = kind;
   return opt;

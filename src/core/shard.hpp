@@ -119,9 +119,15 @@ std::vector<std::byte> serialize_shard(const CsrMatrix<IT, VT>& m) {
   p += sizeof(h);
   std::memcpy(p, m.rowptr.data(), m.rowptr.size() * sizeof(IT));
   p += m.rowptr.size() * sizeof(IT);
-  std::memcpy(p, m.colids.data(), m.colids.size() * sizeof(IT));
+  // Empty shards have null colids/values data(); memcpy's arguments are
+  // declared nonnull even for zero sizes.
+  if (!m.colids.empty()) {
+    std::memcpy(p, m.colids.data(), m.colids.size() * sizeof(IT));
+  }
   p += m.colids.size() * sizeof(IT);
-  std::memcpy(p, m.values.data(), m.values.size() * sizeof(VT));
+  if (!m.values.empty()) {
+    std::memcpy(p, m.values.data(), m.values.size() * sizeof(VT));
+  }
   return buf;
 }
 
@@ -150,9 +156,9 @@ CsrMatrix<IT, VT> deserialize_shard(const std::byte* data, std::size_t size,
   std::vector<VT> values(static_cast<std::size_t>(h.nnz));
   std::memcpy(rowptr.data(), p, rp_bytes);
   p += rp_bytes;
-  std::memcpy(colids.data(), p, ci_bytes);
+  if (ci_bytes != 0) std::memcpy(colids.data(), p, ci_bytes);
   p += ci_bytes;
-  std::memcpy(values.data(), p, va_bytes);
+  if (va_bytes != 0) std::memcpy(values.data(), p, va_bytes);
   return CsrMatrix<IT, VT>(static_cast<IT>(h.nrows), static_cast<IT>(h.ncols),
                            std::move(rowptr), std::move(colids),
                            std::move(values));

@@ -188,16 +188,26 @@ TEST(EngineAuto, AutoResolvesAndMatchesBaselineBothKinds) {
 TEST(EngineAuto, HeuristicPicksPhaseByDensityAndKind) {
   // Sparse mask, plenty of flops → tight bound → one-phase.
   const auto tight = auto_scheme_options(/*total_flops=*/1000,
-                                         /*mask_nnz=*/100, MaskKind::kMask);
+                                         /*mask_nnz=*/100, MaskKind::kMask,
+                                         /*nrows=*/100, /*ncols=*/100);
   EXPECT_EQ(tight.phase, MaskedPhase::kOnePhase);
   EXPECT_EQ(tight.algorithm, MaskedAlgorithm::kAdaptive);
   // Mask admits more positions than there are flops → loose bound → 2P.
   const auto loose = auto_scheme_options(/*total_flops=*/50,
-                                         /*mask_nnz=*/1000, MaskKind::kMask);
+                                         /*mask_nnz=*/1000, MaskKind::kMask,
+                                         /*nrows=*/100, /*ncols=*/100);
   EXPECT_EQ(loose.phase, MaskedPhase::kTwoPhase);
-  // Complemented masks always go two-phase.
-  const auto comp = auto_scheme_options(1000, 2, MaskKind::kComplement);
-  EXPECT_EQ(comp.phase, MaskedPhase::kTwoPhase);
+  // Complemented masks admit nrows·ncols − nnz(M) positions: a near-full
+  // mask leaves a tiny complement → tight bound → one-phase...
+  const auto comp_tight = auto_scheme_options(
+      /*total_flops=*/1000, /*mask_nnz=*/9990, MaskKind::kComplement,
+      /*nrows=*/100, /*ncols=*/100);
+  EXPECT_EQ(comp_tight.phase, MaskedPhase::kOnePhase);
+  // ...while a sparse mask's complement is nearly dense → loose → 2P.
+  const auto comp_loose = auto_scheme_options(
+      /*total_flops=*/1000, /*mask_nnz=*/2, MaskKind::kComplement,
+      /*nrows=*/100, /*ncols=*/100);
+  EXPECT_EQ(comp_loose.phase, MaskedPhase::kTwoPhase);
 }
 
 TEST(EngineAuto, AutoIsExcludedFromRegistryLists) {
