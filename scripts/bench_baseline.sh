@@ -22,6 +22,8 @@
 #                                   first step); unset records null
 #   MSP_AUTO_SCALE                  scheme_auto tricount R-MAT scale
 #                                   (default 12; acceptance runs use 17)
+#   MSP_DYNAMIC_SCALE               dynamic_updates R-MAT scale (default 12;
+#                                   acceptance runs use 17)
 #   MSP_TUNE_OUT                    tuning-profile path (TUNE_profile.json);
 #                                   calibrated here and recorded as the
 #                                   scheme_auto entry's profile
@@ -42,6 +44,7 @@ MSP_SHARDED_SCALE=${MSP_SHARDED_SCALE:-12}
 MSP_SHARD_MBPS=${MSP_SHARD_MBPS:-256}
 MSP_BENCH_THREADS=${MSP_BENCH_THREADS:-}
 MSP_AUTO_SCALE=${MSP_AUTO_SCALE:-12}
+MSP_DYNAMIC_SCALE=${MSP_DYNAMIC_SCALE:-12}
 MSP_TUNE_OUT=${MSP_TUNE_OUT:-TUNE_profile.json}
 MSP_TUNE_FULL=${MSP_TUNE_FULL:-0}
 
@@ -52,7 +55,7 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j --target bench_fig10_tricount_scale \
   --target bench_multimask_batch --target bench_engine_reuse \
   --target bench_sharded_spgemm --target bench_tuner_calibrate \
-  --target bench_scheme_auto >/dev/null
+  --target bench_scheme_auto --target bench_dynamic_updates >/dev/null
 # Best-effort: the micro benchmark target only exists when Google Benchmark
 # is installed; the baseline degrades gracefully without it.
 cmake --build "$BUILD_DIR" -j --target bench_micro_accumulators \
@@ -63,8 +66,9 @@ MULTIMASK_TXT=$(mktemp)
 ENGINE_TXT=$(mktemp)
 SHARDED_TXT=$(mktemp)
 AUTO_TXT=$(mktemp)
+DYNAMIC_TXT=$(mktemp)
 SWEEP_TMP=$(mktemp -d)
-trap 'rm -f "$FIG10_TXT" "$MULTIMASK_TXT" "$ENGINE_TXT" "$SHARDED_TXT" "$AUTO_TXT"; rm -rf "$SWEEP_TMP"' EXIT
+trap 'rm -f "$FIG10_TXT" "$MULTIMASK_TXT" "$ENGINE_TXT" "$SHARDED_TXT" "$AUTO_TXT" "$DYNAMIC_TXT"; rm -rf "$SWEEP_TMP"' EXIT
 
 # Calibrate the kAuto tuning profile first (quick grid unless
 # MSP_TUNE_FULL=1): the scheme_auto comparison below loads it through
@@ -91,6 +95,9 @@ echo "running bench_scheme_auto (tricount scale $MSP_AUTO_SCALE, multimask scale
 MSP_SCALE=$MSP_AUTO_SCALE MSP_MULTIMASK_SCALE=$MSP_MULTIMASK_SCALE \
   MSP_BATCH=$MSP_BATCH MSP_TUNE_PROFILE=$MSP_TUNE_OUT \
   "$BUILD_DIR/bench/bench_scheme_auto" > "$AUTO_TXT"
+echo "running bench_dynamic_updates (scale $MSP_DYNAMIC_SCALE, $MSP_REPS reps)" >&2
+MSP_DYNAMIC_SCALE=$MSP_DYNAMIC_SCALE \
+  "$BUILD_DIR/bench/bench_dynamic_updates" > "$DYNAMIC_TXT"
 # Optional thread-count sweep: one fig10 run per requested thread count.
 for t in $MSP_BENCH_THREADS; do
   echo "running bench_fig10_tricount_scale with $t threads" >&2
@@ -203,6 +210,23 @@ scheme_auto_json() {
   ' "$AUTO_TXT"
 }
 
+# Turn the dynamic_updates table (one row per delta fraction: edits per
+# batch, incremental and rebuild seconds, speedup, rows the incremental
+# path recomputed, total rows, symbolic-skipped and bit-identical flags)
+# into a JSON array.
+dynamic_json() {
+  awk '
+    /^#/ { next }
+    $1 == "delta" { next }
+    {
+      printf "%s{\"delta\": %s, \"edits\": %s, \"incremental_s\": %s, \"rebuild_s\": %s, \"speedup\": %s, \"rows_refreshed\": %s, \"nrows\": %s, \"symbolic_skipped\": %s, \"identical\": %s}", \
+        sep, $1, $2, $3, $4, $5, $6, $7, ($8 == 1 ? "true" : "false"), \
+        ($9 == 1 ? "true" : "false")
+      sep = ",\n      "
+    }
+  ' "$DYNAMIC_TXT"
+}
+
 # Turn the multimask table (one row per scheme: batch/sequential seconds,
 # speedup, warm-batch seconds, bit-identical flag) into a JSON array.
 multimask_json() {
@@ -269,6 +293,10 @@ DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
   printf '  "scheme_auto": {"tricount_scale": %s, "multimask_scale": %s, "batch": %s, "profile": "%s", "results": [\n      ' \
     "$MSP_AUTO_SCALE" "$MSP_MULTIMASK_SCALE" "$MSP_BATCH" "$MSP_TUNE_OUT"
   scheme_auto_json
+  printf '\n  ]},\n'
+  printf '  "dynamic_updates": {"scale": %s, "results": [\n      ' \
+    "$MSP_DYNAMIC_SCALE"
+  dynamic_json
   printf '\n  ]},\n'
   printf '  "thread_sweep": '
   thread_sweep_json

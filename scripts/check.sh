@@ -3,12 +3,18 @@
 #
 # `check.sh --sanitize` instead configures an ASan+UBSan build (mirroring
 # the CI sanitizer job) and runs the conformance sweep plus the randomized
-# sharded differential trials: `ctest -L 'conformance|fuzz'`.
+# differential trials (sharded + streaming-update):
+# `ctest -L 'conformance|fuzz|dynamic'`.
 #
 # `check.sh --tsan` configures a ThreadSanitizer build (mirroring the CI
 # tsan job) and runs the concurrency-sensitive suites — the randomized
-# sharded/async trials plus the storage-backend tests:
-# `ctest -L 'fuzz|storage'`.
+# sharded/async/streaming-update trials plus the storage-backend tests:
+# `ctest -L 'fuzz|storage|dynamic'`.
+#
+# `check.sh --dynamic` runs just the streaming-update suite (the delta
+# layer's differential fuzzer and incremental-invalidation tests,
+# `ctest -L dynamic`) in the regular tier-1 build — the quick loop while
+# working on DeltaMatrix / the dirty-range plumbing.
 set -eu
 cd "$(dirname "$0")/.."
 if [ "${1:-}" = "--sanitize" ]; then
@@ -17,12 +23,15 @@ if [ "${1:-}" = "--sanitize" ]; then
   cmake --build build-asan -j
   # -L before the bare -j: a bare -j greedily consumes the next token as
   # its job count on some ctest versions, silently dropping the filter.
-  cd build-asan && ctest --output-on-failure -L 'conformance|fuzz' -j
+  cd build-asan && ctest --output-on-failure -L 'conformance|fuzz|dynamic' -j
 elif [ "${1:-}" = "--tsan" ]; then
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMSPGEMM_TSAN=ON
   cmake --build build-tsan -j
-  cd build-tsan && ctest --output-on-failure -L 'fuzz|storage' -j
+  cd build-tsan && ctest --output-on-failure -L 'fuzz|storage|dynamic' -j
+elif [ "${1:-}" = "--dynamic" ]; then
+  cmake -B build -S . && cmake --build build -j
+  cd build && ctest --output-on-failure -L dynamic -j
 else
   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
 fi

@@ -25,16 +25,30 @@
 //  * values changed, pattern identical  → `values_changed()` (refreshes
 //    the valued-semantics fingerprint and the cached transpose values on
 //    the next execution);
-//  * pattern changed (or a different matrix) → `rebind(m)` (recomputes
-//    everything).
+//  * pattern changed in rows [r0, r1), same object, same shape →
+//    `structure_changed(r0, r1)` (records the range in the handle's
+//    dirty log so cached plans refresh only the touched row blocks;
+//    DeltaMatrix update streams drive this through Engine::update);
+//  * a different matrix object (or an unknown extent of change) →
+//    `rebind(m)` (recomputes everything).
 //
-// Failing to call `rebind` after a pattern change makes the cached
-// fingerprint stale and can silently serve a plan for the old pattern —
-// exactly the hazard the per-call hashing of the raw path exists to
-// avoid. Use raw `CsrMatrix` operands when patterns churn every call
-// (e.g. k-truss iterations); use handles when they are stable.
+// On the first structure_changed the handle trades its pattern hash for a
+// stable *identity* fingerprint derived from the dirty log: the plan-cache
+// key then names "this evolving matrix", stays put across updates (so hits
+// land on the same plan, which catches up via SpgemmPlan::sync), and can
+// no longer collide with any raw caller's honest pattern hash — in
+// particular not with a pre-update copy of the matrix, whose hash would
+// otherwise hit the partially-refreshed plan.
+//
+// Failing to call `rebind` after an untracked pattern change makes the
+// cached fingerprint stale and can silently serve a plan for the old
+// pattern — exactly the hazard the per-call hashing of the raw path
+// exists to avoid. Use raw `CsrMatrix` operands when patterns churn every
+// call (e.g. k-truss iterations); use handles when they are stable or
+// their mutations are reported.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -89,8 +103,44 @@ class BoundMatrix {
   /// the pattern fingerprint are pattern-only and stay valid.
   void values_changed() {
     MSP_ASSERT(bound());
-    state_->has_valued_fp = false;
     state_->values_version = next_values_version();
+    if (state_->dirty_log != nullptr) {
+      // Identity-fingerprint mode: the valued fingerprint is a stable
+      // identity, so a zeroness change must flow through the dirty log
+      // for valued-mask plans to refilter. Full range — values_changed
+      // carries no row information.
+      state_->dirty_log->record(0, state_->matrix->nrows);
+    } else {
+      state_->has_valued_fp = false;
+    }
+  }
+
+  /// The matrix's *structure* changed in rows [begin, end) — same object,
+  /// same shape (use `rebind` otherwise). Records the range in the
+  /// handle's dirty log (created on first use, switching the handle to
+  /// identity fingerprints — see the file comment), bumps the values
+  /// version, and drops the cached transpose outright: cached plans then
+  /// refresh exactly the touched row blocks on their next execution.
+  void structure_changed(IT begin, IT end) {
+    MSP_ASSERT(bound());
+    if (state_->dirty_log == nullptr) {
+      state_->dirty_log = std::make_shared<StructureDirtyLog<IT>>();
+      state_->fp_pattern = identity_fingerprint(state_->dirty_log->id());
+      state_->fp_valued =
+          detail::hash_mix(state_->fp_pattern, 0x517cc1b727220a95ULL);
+      state_->has_valued_fp = true;  // identity: stable, never recomputed
+    }
+    state_->dirty_log->record(begin, end);
+    state_->values_version = next_values_version();
+    if (state_->csc != nullptr) state_->csc->invalidate();
+  }
+
+  /// The handle's structure dirty log — null until the first
+  /// structure_changed. Passed to plans (SpgemmOperandHints) and to
+  /// flops_with so both refresh incrementally.
+  [[nodiscard]] const StructureDirtyLog<IT>* dirty_log() const {
+    MSP_ASSERT(bound());
+    return state_->dirty_log.get();
   }
 
   /// Identifier of the current in-place values state, drawn from one
@@ -116,20 +166,39 @@ class BoundMatrix {
 
   /// Per-row flops of `matrix() · b`, cached per partner fingerprint `fb`
   /// (a handful of partners per handle; FIFO beyond that). Shared with
-  /// plans so a miss never recounts.
+  /// plans so a miss never recounts. Entries remember the dirty-log epochs
+  /// of both sides at count time: when this handle mutated, only the rows
+  /// recorded since are recounted (copy-on-write — plans share the old
+  /// vector); when the partner mutated (its `dirty_log()` goes in
+  /// `b_log`), the count restarts from scratch — which A rows a B change
+  /// touches is not knowable from the log alone.
   [[nodiscard]] std::shared_ptr<const std::vector<std::int64_t>> flops_with(
-      const CsrMatrix<IT, VT>& b, std::uint64_t fb) const {
+      const CsrMatrix<IT, VT>& b, std::uint64_t fb,
+      const StructureDirtyLog<IT>* b_log = nullptr) const {
     MSP_ASSERT(bound());
-    for (const auto& entry : state_->flops_by_partner) {
-      if (entry.first == fb) return entry.second;
+    const StructureDirtyLog<IT>* a_log = state_->dirty_log.get();
+    const std::uint64_t a_epoch = a_log != nullptr ? a_log->epoch() : 0;
+    const std::uint64_t b_id = b_log != nullptr ? b_log->id() : 0;
+    const std::uint64_t b_epoch = b_log != nullptr ? b_log->epoch() : 0;
+    for (auto& entry : state_->flops_by_partner) {
+      if (entry.fb != fb) continue;
+      if (entry.a_epoch != a_epoch || entry.b_log_id != b_id ||
+          entry.b_epoch != b_epoch) {
+        refresh_flops_entry(entry, b, a_log, b_id, b_epoch);
+        entry.a_epoch = a_epoch;
+        entry.b_log_id = b_id;
+        entry.b_epoch = b_epoch;
+      }
+      return entry.flops;
     }
     auto flops = std::make_shared<const std::vector<std::int64_t>>(
         row_flops(*state_->matrix, b));
     if (state_->flops_by_partner.size() >= kMaxFlopsPartners) {
       state_->flops_by_partner.erase(state_->flops_by_partner.begin());
     }
-    state_->flops_by_partner.emplace_back(fb, flops);
-    return flops;
+    state_->flops_by_partner.push_back(
+        {fb, std::move(flops), a_epoch, b_id, b_epoch});
+    return state_->flops_by_partner.back().flops;
   }
 
   /// The handle's transpose cache (created empty on first use); plans
@@ -152,6 +221,48 @@ class BoundMatrix {
     return ++counter;
   }
 
+  /// Stable identity key for a structurally evolving matrix: salted mix of
+  /// the (process-unique) dirty-log id, disjoint w.h.p. from the honest
+  /// pattern hashes raw callers present.
+  static std::uint64_t identity_fingerprint(std::uint64_t log_id) {
+    return detail::hash_mix(0xd6e8feb86659fd93ULL, log_id);
+  }
+
+  struct FlopsEntry {
+    std::uint64_t fb = 0;
+    std::shared_ptr<const std::vector<std::int64_t>> flops;
+    std::uint64_t a_epoch = 0;    ///< own dirty-log epoch at count time
+    std::uint64_t b_log_id = 0;   ///< partner's dirty-log identity
+    std::uint64_t b_epoch = 0;
+  };
+
+  void refresh_flops_entry(FlopsEntry& entry, const CsrMatrix<IT, VT>& b,
+                           const StructureDirtyLog<IT>* a_log,
+                           std::uint64_t b_id, std::uint64_t b_epoch) const {
+    const CsrMatrix<IT, VT>& a = *state_->matrix;
+    const bool b_stale = entry.b_log_id != b_id || entry.b_epoch != b_epoch;
+    if (b_stale || a_log == nullptr ||
+        entry.flops->size() != static_cast<std::size_t>(a.nrows)) {
+      entry.flops =
+          std::make_shared<const std::vector<std::int64_t>>(row_flops(a, b));
+      return;
+    }
+    auto next = std::make_shared<std::vector<std::int64_t>>(*entry.flops);
+    for (const auto& r : a_log->ranges_since(entry.a_epoch)) {
+      const IT lo = std::clamp<IT>(r.begin, 0, a.nrows);
+      const IT hi = std::clamp<IT>(r.end, 0, a.nrows);
+#pragma omp parallel for schedule(dynamic, 256)
+      for (IT i = lo; i < hi; ++i) {
+        std::int64_t f = 0;
+        for (IT p = a.rowptr[i]; p < a.rowptr[i + 1]; ++p) {
+          f += b.row_nnz(a.colids[p]);
+        }
+        (*next)[static_cast<std::size_t>(i)] = f;
+      }
+    }
+    entry.flops = std::move(next);
+  }
+
   struct State {
     const CsrMatrix<IT, VT>* matrix = nullptr;
     std::uint64_t fp_pattern = 0;
@@ -159,10 +270,8 @@ class BoundMatrix {
     std::uint64_t values_version = 0;
     bool has_valued_fp = false;
     std::shared_ptr<CscTransposeCache<IT, VT>> csc;
-    std::vector<
-        std::pair<std::uint64_t,
-                  std::shared_ptr<const std::vector<std::int64_t>>>>
-        flops_by_partner;
+    std::shared_ptr<StructureDirtyLog<IT>> dirty_log;  // null until mutation
+    std::vector<FlopsEntry> flops_by_partner;
   };
 
   std::shared_ptr<State> state_;

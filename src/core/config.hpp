@@ -70,6 +70,13 @@ struct MaskedSpgemmStats {
   /// Plan-based execution only: flops(A·B) from the plan — free for
   /// callers that would otherwise rescan A/B (GFLOPS metrics, k-truss).
   std::int64_t total_flops = 0;
+  /// Plan-based execution only: rows whose plan artifacts (flops, bounds,
+  /// symbolic rowptr) were recomputed by a partial refresh this call —
+  /// the dirty row blocks of a structure_changed update stream. 0 on a
+  /// clean hit; nrows on a conservative full refresh. Together with
+  /// symbolic_skipped this is the observable proof that untouched row
+  /// blocks skipped their symbolic pass.
+  std::size_t plan_rows_refreshed = 0;
 
   /// output_nnz / bound_nnz — how tight the paper's nnz(M) bound was
   /// (1.0 = exact; meaningful for one-phase runs only).

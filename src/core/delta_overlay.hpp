@@ -1,0 +1,145 @@
+// Row-indexed overlay of pending mutations for DeltaMatrix — a DCSR-shaped
+// container (matrix/dcsr.hpp) with one deliberate deviation: stored rows may
+// be EMPTY. An overlay row is not a set of extra entries but the *entire
+// merged row* after the pending edits; an empty stored row is therefore a
+// tombstone ("this row now has no entries"), which DcsrMatrix's invariant
+// `rowptr[r+1] > rowptr[r]` forbids. Keeping whole rows — rather than
+// per-entry insert/delete journals — makes the merged view trivial
+// (overlay row if stored, base row otherwise) and makes batched replacement
+// a sorted two-list merge with no per-entry state machine.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace msp {
+
+template <class IT = index_t, class VT = double>
+class DeltaOverlay {
+ public:
+  using index_type = IT;
+  using value_type = VT;
+
+  DeltaOverlay() : rowptr_{0} {}
+
+  [[nodiscard]] std::size_t nnz() const { return colids_.size(); }
+  [[nodiscard]] std::size_t stored_rows() const { return rowids_.size(); }
+  [[nodiscard]] bool empty() const { return rowids_.empty(); }
+
+  /// Index into the stored-row arrays for matrix row `row`, or npos.
+  [[nodiscard]] std::size_t find(IT row) const {
+    const auto it = std::lower_bound(rowids_.begin(), rowids_.end(), row);
+    if (it == rowids_.end() || *it != row) return npos;
+    return static_cast<std::size_t>(it - rowids_.begin());
+  }
+
+  [[nodiscard]] IT stored_rowid(std::size_t r) const {
+    MSP_ASSERT(r < rowids_.size());
+    return rowids_[r];
+  }
+
+  [[nodiscard]] std::span<const IT> stored_row_cols(std::size_t r) const {
+    MSP_ASSERT(r < rowids_.size());
+    return {colids_.data() + rowptr_[r],
+            static_cast<std::size_t>(rowptr_[r + 1] - rowptr_[r])};
+  }
+
+  [[nodiscard]] std::span<const VT> stored_row_vals(std::size_t r) const {
+    MSP_ASSERT(r < rowids_.size());
+    return {values_.data() + rowptr_[r],
+            static_cast<std::size_t>(rowptr_[r + 1] - rowptr_[r])};
+  }
+
+  /// One fully-merged replacement row: sorted strict columns (may be empty).
+  template <class T>
+  struct RowEdit {
+    IT row;
+    std::span<const IT> cols;
+    std::span<const T> vals;
+  };
+
+  /// Replace (or add) the stored rows named by `edits` — each edit carries
+  /// the complete new contents of its row. `edits` must be sorted by row
+  /// with no duplicates; columns within each edit sorted strictly. A sorted
+  /// two-list merge rebuilds the arrays in one pass.
+  void replace_rows(std::span<const RowEdit<VT>> edits) {
+    if (edits.empty()) return;
+    std::vector<IT> new_rowids;
+    std::vector<IT> new_rowptr{0};
+    std::vector<IT> new_colids;
+    std::vector<VT> new_values;
+    new_rowids.reserve(rowids_.size() + edits.size());
+    new_rowptr.reserve(rowids_.size() + edits.size() + 1);
+
+    const auto push_row = [&](IT row, std::span<const IT> cols,
+                              std::span<const VT> vals) {
+      new_rowids.push_back(row);
+      new_colids.insert(new_colids.end(), cols.begin(), cols.end());
+      new_values.insert(new_values.end(), vals.begin(), vals.end());
+      new_rowptr.push_back(static_cast<IT>(new_colids.size()));
+    };
+
+    std::size_t r = 0;      // cursor over existing stored rows
+    std::size_t e = 0;      // cursor over edits
+    while (r < rowids_.size() || e < edits.size()) {
+      if (e == edits.size() ||
+          (r < rowids_.size() && rowids_[r] < edits[e].row)) {
+        push_row(rowids_[r], stored_row_cols(r), stored_row_vals(r));
+        ++r;
+      } else {
+        MSP_ASSERT(e + 1 == edits.size() || edits[e].row < edits[e + 1].row);
+        push_row(edits[e].row, edits[e].cols, edits[e].vals);
+        if (r < rowids_.size() && rowids_[r] == edits[e].row) ++r;
+        ++e;
+      }
+    }
+    rowids_ = std::move(new_rowids);
+    rowptr_ = std::move(new_rowptr);
+    colids_ = std::move(new_colids);
+    values_ = std::move(new_values);
+    MSP_ASSERT(check_structure(std::numeric_limits<IT>::max(),
+                               std::numeric_limits<IT>::max()));
+  }
+
+  void clear() {
+    rowids_.clear();
+    rowptr_.assign(1, 0);
+    colids_.clear();
+    values_.clear();
+  }
+
+  /// DcsrMatrix::check_structure minus the non-empty-row rule (empty stored
+  /// rows are tombstones here, see file comment).
+  [[nodiscard]] bool check_structure(IT nrows, IT ncols) const {
+    if (rowptr_.size() != rowids_.size() + 1) return false;
+    if (rowptr_.front() != 0) return false;
+    if (static_cast<std::size_t>(rowptr_.back()) != colids_.size()) return false;
+    if (colids_.size() != values_.size()) return false;
+    for (std::size_t r = 0; r < rowids_.size(); ++r) {
+      if (rowids_[r] < 0 || rowids_[r] >= nrows) return false;
+      if (r > 0 && rowids_[r] <= rowids_[r - 1]) return false;
+      if (rowptr_[r + 1] < rowptr_[r]) return false;
+      for (IT p = rowptr_[r]; p < rowptr_[r + 1]; ++p) {
+        if (colids_[p] < 0 || colids_[p] >= ncols) return false;
+        if (p > rowptr_[r] && colids_[p] <= colids_[p - 1]) return false;
+      }
+    }
+    return true;
+  }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::vector<IT> rowids_;  ///< stored-row indices, strictly increasing
+  std::vector<IT> rowptr_;  ///< size rowids_.size() + 1; rows MAY be empty
+  std::vector<IT> colids_;
+  std::vector<VT> values_;
+};
+
+}  // namespace msp

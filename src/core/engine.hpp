@@ -45,7 +45,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <tuple>
 #include <type_traits>
+#include <typeindex>
 #include <utility>
 #include <vector>
 
@@ -56,6 +59,7 @@
 #include "core/masked_spmv.hpp"
 #include "core/scheme.hpp"
 #include "core/tuner.hpp"
+#include "matrix/delta.hpp"
 #include "matrix/ops.hpp"
 #include "matrix/sparse_vector.hpp"
 #include "semiring/semiring.hpp"
@@ -139,7 +143,14 @@ class Engine {
     return ctx_->cache_stats();
   }
   [[nodiscard]] std::size_t plan_count() const { return ctx_->plan_count(); }
-  void clear() { ctx_->clear(); }
+  void clear() {
+    ctx_->clear();
+    result_cache_.clear();
+  }
+  /// Cached previous results held for the incremental splice (bounded).
+  [[nodiscard]] std::size_t result_cache_size() const {
+    return result_cache_.size();
+  }
   void reset_stats() { ctx_->reset_stats(); }
 
   // --- calibrated auto-tuning ----------------------------------------------
@@ -212,6 +223,32 @@ class Engine {
   template <class IT, class VT, class A>
   MultiplyStart<IT, VT> multiply(const A&, CsrMatrix<IT, VT>&&) = delete;
 
+  // --- streaming updates --------------------------------------------------
+
+  /// Apply one batch of edge mutations to a DeltaMatrix and report the
+  /// touched rows to its bound handle — the single call an app (or the
+  /// update fuzzer) makes per batch. The handle must be bound to the delta
+  /// matrix's live merged view (`dm.matrix()`, whose address is stable
+  /// across updates). The batch's touched-row runs are coalesced to a
+  /// bounded set of ranges and recorded individually, so a small batch —
+  /// even one scattered across distant rows — dirties only its own row
+  /// blocks and cached plans refresh just those on their next multiply.
+  template <class IT, class VT>
+  DeltaUpdateResult<IT> update(DeltaMatrix<IT, VT>& dm,
+                               BoundMatrix<IT, VT>& handle,
+                               std::span<const EdgeUpdate<IT, VT>> edits) {
+    if (!handle.bound() || &handle.matrix() != &dm.matrix()) {
+      throw invalid_argument_error(
+          "Engine::update: handle is not bound to the delta matrix's merged "
+          "view");
+    }
+    DeltaUpdateResult<IT> res = dm.apply_updates(edits);
+    for (const auto& [lo, hi] : coalesce_dirty_ranges<IT>(res.touched_ranges)) {
+      handle.structure_changed(lo, hi);
+    }
+    return res;
+  }
+
   // --- typed scheme execution ---------------------------------------------
 
   /// Execute one scheme: C = M ⊙ (A·B) (or complemented). The typed core
@@ -259,6 +296,7 @@ class Engine {
             "Engine: A handle is not bound to the A operand");
       }
       hints.fa = a_handle->fingerprint();
+      hints.a_dirty = a_handle->dirty_log();
       any_hint = true;
     }
     if (b_handle != nullptr && b_handle->bound()) {
@@ -267,6 +305,7 @@ class Engine {
             "Engine: B handle is not bound to the B operand");
       }
       hints.fb = b_handle->fingerprint();
+      hints.b_dirty = b_handle->dirty_log();
       any_hint = true;
     }
     if (m_handle != nullptr && m_handle->bound()) {
@@ -277,11 +316,95 @@ class Engine {
       hints.fm = semantics == MaskSemantics::kValued
                      ? m_handle->valued_fingerprint()
                      : m_handle->fingerprint();
+      hints.m_dirty = m_handle->dirty_log();
       any_hint = true;
     }
     if (a_handle != nullptr && hints.fa.has_value() &&
         hints.fb.has_value()) {
-      hints.flops = a_handle->flops_with(b, *hints.fb);
+      hints.flops = a_handle->flops_with(b, *hints.fb, hints.b_dirty);
+    }
+
+    // --- incremental result splice ----------------------------------------
+    // With all three operands bound and A in identity-fingerprint mode
+    // (every mutation of A flows through its dirty log), the engine keeps
+    // the previous result per configuration. Masked SpGEMM is row-local —
+    // C(i,:) = M(i,:) ⊙ (A(i,:)·B) — so when only a few row runs of A
+    // changed since that result (B and M untouched, checked via their
+    // values versions), the query recomputes exactly those runs and
+    // stitches them into the cached rows: the same row-block decomposition
+    // the sharded path is built on, hence bit-identical to a full rebuild.
+    // kAuto is excluded — its per-call algorithm choice on a row slice
+    // could differ from the full-matrix choice and change the floating-
+    // point summation order.
+    const bool splice_eligible =
+        scheme != Scheme::kAuto && hints.fa.has_value() &&
+        hints.fb.has_value() && hints.fm.has_value() &&
+        a_handle->dirty_log() != nullptr;
+    const std::type_index splice_sig(
+        typeid(std::tuple<SR, CsrMatrix<IT, VT>, CsrMatrix<IT, MT>>));
+    if (splice_eligible) {
+      ResultCacheEntry* entry =
+          find_result(splice_sig, scheme, kind, semantics, *hints.fa,
+                      *hints.fb, *hints.fm);
+      if (entry != nullptr &&
+          entry->a_log_id == a_handle->dirty_log()->id() &&
+          entry->b_values_version == b_handle->values_version() &&
+          entry->m_values_version == m_handle->values_version()) {
+        const StructureDirtyLog<IT>& log = *a_handle->dirty_log();
+        std::vector<std::pair<IT, IT>> runs;
+        for (const auto& r : log.ranges_since(entry->a_epoch)) {
+          runs.emplace_back(std::max<IT>(r.begin, 0),
+                            std::min<IT>(r.end, a.nrows));
+        }
+        std::sort(runs.begin(), runs.end());
+        runs = coalesce_dirty_ranges<IT>(runs);
+        std::size_t dirty_rows = 0;
+        for (const auto& [lo, hi] : runs) {
+          dirty_rows += hi > lo ? static_cast<std::size_t>(hi - lo) : 0;
+        }
+        const auto& prev =
+            *static_cast<const CsrMatrix<IT, VT>*>(entry->result.get());
+        if (dirty_rows == 0) {
+          if (stats != nullptr) {
+            stats->plan_cache_hit = true;
+            stats->symbolic_skipped = true;
+          }
+          ctx_->record_splice(0);
+          return prev;
+        }
+        if (dirty_rows * 2 < static_cast<std::size_t>(a.nrows)) {
+          std::vector<CsrMatrix<IT, VT>> parts;
+          IT cursor = 0;
+          for (const auto& [lo, hi] : runs) {
+            if (hi <= lo) continue;
+            if (cursor < lo) parts.push_back(slice_rows(prev, cursor, lo));
+            const CsrMatrix<IT, VT> a_blk = slice_rows(a, lo, hi);
+            const CsrMatrix<IT, MT> m_blk = slice_rows(m, lo, hi);
+            // Recompute the dirty block with the same scheme; B keeps its
+            // handle so the slice multiply reuses B's fingerprint (and CSC
+            // cache for inner-product schemes) instead of rehashing B.
+            parts.push_back(multiply_scheme<SR>(scheme, a_blk, b, m_blk,
+                                                kind, semantics, nullptr,
+                                                nullptr, b_handle));
+            cursor = hi;
+          }
+          if (cursor < a.nrows) {
+            parts.push_back(slice_rows(prev, cursor, a.nrows));
+          }
+          CsrMatrix<IT, VT> out = stitch_row_blocks(parts, b.ncols);
+          entry->result = std::make_shared<CsrMatrix<IT, VT>>(out);
+          entry->a_epoch = log.epoch();
+          if (stats != nullptr) {
+            stats->plan_cache_hit = true;
+            stats->symbolic_skipped = true;
+            stats->plan_rows_refreshed += dirty_rows;
+          }
+          ctx_->record_splice(dirty_rows);
+          return out;
+        }
+        // Too much of the matrix is dirty: the full path below is cheaper
+        // and refreshes the cache entry on its way out.
+      }
     }
 
     MaskedSpgemmOptions opt;
@@ -340,6 +463,13 @@ class Engine {
     CsrMatrix<IT, VT> out =
         ctx_->multiply<SR>(a, b, m, opt, any_hint ? &hints : nullptr);
     if (sel != nullptr && opt.stats != nullptr) sel->observe(*opt.stats);
+    if (splice_eligible) {
+      store_result({splice_sig, scheme, kind, semantics, *hints.fa,
+                    *hints.fb, *hints.fm, a_handle->dirty_log()->id(),
+                    a_handle->dirty_log()->epoch(),
+                    b_handle->values_version(), m_handle->values_version(),
+                    std::make_shared<CsrMatrix<IT, VT>>(out)});
+    }
     return out;
   }
 
@@ -497,8 +627,56 @@ class Engine {
     throw invalid_argument_error("multiply_dyn: unknown semiring id");
   }
 
+  // One cached previous result for the incremental splice, keyed by the
+  // full multiply configuration (semiring/operand types via `sig`, the
+  // scheme, mask kind/semantics, and all three operand fingerprints). The
+  // epoch/version fields pin the operand states the result was computed
+  // from; `result` is a type-erased CsrMatrix<IT, VT> behind `sig`.
+  struct ResultCacheEntry {
+    std::type_index sig;
+    Scheme scheme;
+    MaskKind kind;
+    MaskSemantics semantics;
+    std::uint64_t fa;
+    std::uint64_t fb;
+    std::uint64_t fm;
+    std::uint64_t a_log_id;
+    std::uint64_t a_epoch;
+    std::uint64_t b_values_version;
+    std::uint64_t m_values_version;
+    std::shared_ptr<void> result;
+  };
+  static constexpr std::size_t kResultCacheCap = 4;
+
+  ResultCacheEntry* find_result(const std::type_index& sig, Scheme scheme,
+                                MaskKind kind, MaskSemantics semantics,
+                                std::uint64_t fa, std::uint64_t fb,
+                                std::uint64_t fm) {
+    for (auto& e : result_cache_) {
+      if (e.sig == sig && e.scheme == scheme && e.kind == kind &&
+          e.semantics == semantics && e.fa == fa && e.fb == fb &&
+          e.fm == fm) {
+        return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  void store_result(ResultCacheEntry&& e) {
+    if (ResultCacheEntry* cur = find_result(e.sig, e.scheme, e.kind,
+                                            e.semantics, e.fa, e.fb, e.fm)) {
+      *cur = std::move(e);
+      return;
+    }
+    if (result_cache_.size() >= kResultCacheCap) {
+      result_cache_.erase(result_cache_.begin());  // FIFO
+    }
+    result_cache_.push_back(std::move(e));
+  }
+
   std::unique_ptr<ExecutionContext> owned_;  // null in non-owning mode
   ExecutionContext* ctx_;
+  std::vector<ResultCacheEntry> result_cache_;
 
   // Calibrated kAuto selector (null = heuristic). env_checked_ latches the
   // one-time $MSP_TUNE_PROFILE probe so unset environments cost nothing.

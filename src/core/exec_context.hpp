@@ -74,6 +74,20 @@ class ExecutionContext {
     /// hints (Engine + BoundMatrix) skip these; the delta between calls and
     /// hashes is the observable fingerprint amortization of bound handles.
     std::size_t fingerprints_computed = 0;
+    /// Plan-cache hits that caught up with a structure_changed update
+    /// stream by recomputing only the dirty row blocks (SpgemmPlan::sync)
+    /// instead of being evicted and rebuilt.
+    std::size_t plan_partial_refreshes = 0;
+    /// Total rows recomputed across those partial refreshes. Compared to
+    /// nrows × hits this shows how much planning the per-block dirty
+    /// tracking skipped for untouched blocks.
+    std::size_t plan_rows_refreshed = 0;
+    /// Queries served by the Engine's incremental result splice: only the
+    /// rows dirty since the cached previous result were recomputed and
+    /// stitched into the untouched rows (bit-identical by row locality).
+    std::size_t result_splices = 0;
+    /// Rows recomputed across those splices; everything else was reused.
+    std::size_t result_rows_recomputed = 0;
     double plan_seconds = 0.0;  ///< total planning/setup time across calls
   };
 
@@ -94,6 +108,13 @@ class ExecutionContext {
   /// Reset the cumulative counters only, keeping plans and scratch warm —
   /// for callers that want fresh statistics over an already-warm cache.
   void reset_stats() { stats_ = CacheStats{}; }
+
+  /// Fold one incremental result splice into the stats (called by the
+  /// Engine, which owns the result cache the splice reads from).
+  void record_splice(std::size_t rows_recomputed) {
+    ++stats_.result_splices;
+    stats_.result_rows_recomputed += rows_recomputed;
+  }
 
   /// Fold one sharded/tiled multiply's shard-level accounting into the
   /// cumulative stats (called by TiledEngine, which observes its stores'
@@ -213,6 +234,19 @@ class ExecutionContext {
     bool hit = false;
     auto& plan = plan_for<IT, VT, MT>(a, b, m, opt.mask_kind,
                                       opt.mask_semantics, &hit, hints);
+    // Catch the plan up with any structure_changed mutations before a
+    // single artifact is consumed: a hit on an evolving operand refreshes
+    // exactly the dirty row blocks (and a plan that cannot tell how stale
+    // it is refreshes everything) instead of being evicted.
+    const std::size_t rows_refreshed =
+        plan.sync(a, b, m, !hit,
+                  hints != nullptr ? hints->a_dirty : nullptr,
+                  hints != nullptr ? hints->b_dirty : nullptr,
+                  hints != nullptr ? hints->m_dirty : nullptr);
+    if (rows_refreshed > 0) {
+      ++stats_.plan_partial_refreshes;
+      stats_.plan_rows_refreshed += rows_refreshed;
+    }
     const CsrMatrix<IT, MT>& mm = plan.effective_mask(m);
     const RowPartition<IT>& partition = plan.ensure_partition(max_threads());
     // Warm-plan phase upgrade (tuned kAuto): with the output structure
@@ -239,6 +273,7 @@ class ExecutionContext {
       opt.stats->plan_cache_hit = hit;
       opt.stats->symbolic_skipped = false;
       opt.stats->total_flops = plan.total_flops();
+      opt.stats->plan_rows_refreshed = rows_refreshed;
     }
 
     // First execution of either phase exports the output row structure

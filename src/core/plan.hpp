@@ -16,11 +16,13 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
@@ -98,6 +100,131 @@ std::uint64_t pattern_fingerprint(const CsrMatrix<IT, VT>& x,
     h = detail::hash_mix(h, zh);
   }
   return h;
+}
+
+// ---------------------------------------------------------------------------
+// Structure dirty log
+// ---------------------------------------------------------------------------
+
+/// Row-block granularity of partial plan refresh: dirty row ranges are
+/// widened to these boundaries before artifacts are recomputed, so the
+/// bookkeeping (and the refresh itself) is per row *block*, not per row.
+inline constexpr int kPlanDirtyBlockRows = 256;
+
+/// Append-only log of structurally mutated row ranges for one operand — the
+/// bridge between BoundMatrix::structure_changed(row_range) and SpgemmPlan's
+/// partial refresh. Each log carries a process-unique id and a monotone
+/// epoch; a plan remembers (id, epoch) per operand and, on its next
+/// execution, refreshes exactly the row blocks recorded since. Past a small
+/// cap the *oldest half* of the entries collapses to one covering range, so
+/// the log stays bounded while cursors that sync regularly keep seeing the
+/// precise recent ranges; only a long-stale cursor pays a conservative
+/// full-ish refresh.
+template <class IT>
+class StructureDirtyLog {
+ public:
+  struct Range {
+    std::uint64_t epoch;
+    IT begin;
+    IT end;
+  };
+
+  StructureDirtyLog() : id_(next_id()) {}
+
+  /// Process-unique identity: a plan cursor pinned to a different log (the
+  /// operand was rebound) can never be mistaken for being up to date.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Record rows [begin, end) as structurally changed.
+  void record(IT begin, IT end) {
+    if (begin >= end) return;
+    entries_.push_back({++epoch_, begin, end});
+    if (entries_.size() > kMaxEntries) {
+      // Fold the oldest half into one covering range (entries are in epoch
+      // order, so its epoch is the last merged one). Recent entries — the
+      // ones a regularly-syncing cursor actually consumes — stay precise.
+      const std::size_t half = entries_.size() / 2;
+      Range merged = entries_.front();
+      for (std::size_t i = 1; i < half; ++i) {
+        merged.begin = std::min(merged.begin, entries_[i].begin);
+        merged.end = std::max(merged.end, entries_[i].end);
+        merged.epoch = std::max(merged.epoch, entries_[i].epoch);
+      }
+      entries_.erase(entries_.begin() + 1, entries_.begin() + half);
+      entries_.front() = merged;
+    }
+  }
+
+  /// Ranges recorded after epoch `since`. Collapsed entries carry their
+  /// newest epoch over a covering range, so a stale cursor always sees a
+  /// superset of what it missed — conservative, never lossy.
+  [[nodiscard]] std::vector<Range> ranges_since(std::uint64_t since) const {
+    std::vector<Range> out;
+    for (const Range& r : entries_) {
+      if (r.epoch > since) out.push_back(r);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kMaxEntries = 64;
+
+  static std::uint64_t next_id() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  std::uint64_t id_;
+  std::uint64_t epoch_ = 0;
+  std::vector<Range> entries_;
+};
+
+/// Coalesce sorted disjoint row runs into at most `max_ranges` ranges for
+/// recording into a StructureDirtyLog. Runs whose gap is under
+/// kPlanDirtyBlockRows merge first — the refresh widens to block boundaries
+/// anyway, so that merge never dirties an extra block. If still over the
+/// cap, the narrowest inter-run gaps are swallowed next (smallest coverage
+/// growth). Bounding the per-batch record count keeps one large scattered
+/// batch from flushing the log's precise history for other cursors.
+template <class IT>
+[[nodiscard]] inline std::vector<std::pair<IT, IT>> coalesce_dirty_ranges(
+    const std::vector<std::pair<IT, IT>>& runs,
+    std::size_t max_ranges = 32) {
+  std::vector<std::pair<IT, IT>> out;
+  out.reserve(runs.size());
+  for (const auto& r : runs) {
+    if (!out.empty() &&
+        r.first - out.back().second < static_cast<IT>(kPlanDirtyBlockRows)) {
+      out.back().second = std::max(out.back().second, r.second);
+    } else {
+      out.push_back(r);
+    }
+  }
+  if (out.size() > max_ranges) {
+    std::vector<IT> gaps;
+    gaps.reserve(out.size() - 1);
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      gaps.push_back(out[i].first - out[i - 1].second);
+    }
+    const std::size_t kill = out.size() - max_ranges;
+    std::nth_element(gaps.begin(),
+                     gaps.begin() + static_cast<std::ptrdiff_t>(kill - 1),
+                     gaps.end());
+    const IT cutoff = gaps[kill - 1];  // ties may merge extra runs: fine,
+                                       // coverage only grows (conservative)
+    std::vector<std::pair<IT, IT>> tight;
+    tight.reserve(max_ranges);
+    for (const auto& r : out) {
+      if (!tight.empty() && r.first - tight.back().second <= cutoff) {
+        tight.back().second = std::max(tight.back().second, r.second);
+      } else {
+        tight.push_back(r);
+      }
+    }
+    out.swap(tight);
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -353,6 +480,16 @@ struct CscTransposeCache {
       csc.values[pos] = b.values[static_cast<std::size_t>(perm[pos])];
     }
   }
+
+  /// Drop the cached transpose entirely — B's *structure* changed, so both
+  /// the CSC pattern and the CSR→CSC permutation are stale. The next
+  /// ensure_structure rebuilds from the mutated B.
+  void invalidate() {
+    built = false;
+    perm.clear();
+    csc = CscMatrix<IT, VT>{};
+    fresh_for_version = 0;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -382,6 +519,13 @@ struct SpgemmOperandHints {
   /// B's values version (BoundMatrix::values_version): lets ensure_b_csc
   /// skip the O(nnz) value re-gather while the version is unchanged.
   std::uint64_t b_values_version = 0;
+  /// Structure dirty logs of the operands (BoundMatrix::dirty_log), read by
+  /// SpgemmPlan::sync to refresh exactly the mutated row blocks on a plan
+  /// cache hit. Null when an operand has never seen structure_changed.
+  /// Must outlive the multiply call; only read.
+  const StructureDirtyLog<IT>* a_dirty = nullptr;
+  const StructureDirtyLog<IT>* b_dirty = nullptr;
+  const StructureDirtyLog<IT>* m_dirty = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -550,7 +694,266 @@ class SpgemmPlan {
     return partition_;
   }
 
+  /// Partial plan refresh against the operands' structure dirty logs
+  /// (BoundMatrix::structure_changed): recompute flops / bounds / symbolic
+  /// row pointers for exactly the row blocks mutated since this plan last
+  /// synced, instead of evicting the plan. Must be called before any other
+  /// artifact accessor on a cache hit whose operands carry dirty logs.
+  ///
+  /// `fresh_plan` marks a plan built *this call* (its artifacts already
+  /// reflect the current matrices): it adopts the logs' current epochs
+  /// without refreshing. A plan meeting a non-empty log it has no cursor
+  /// for (e.g. created by a raw or batched call that predates the log)
+  /// cannot tell how stale it is and conservatively refreshes every row.
+  ///
+  /// Returns the number of rows whose artifacts were recomputed.
+  std::size_t sync(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+                   const CsrMatrix<IT, MT>& m, bool fresh_plan,
+                   const StructureDirtyLog<IT>* a_log,
+                   const StructureDirtyLog<IT>* b_log,
+                   const StructureDirtyLog<IT>* m_log) {
+    using Range = typename StructureDirtyLog<IT>::Range;
+    bool full_a = false, full_b = false, full_m = false;
+    std::vector<Range> a_ranges, b_ranges, m_ranges;
+    advance_cursor(a_log, fresh_plan, a_cursor_, a_ranges, full_a);
+    advance_cursor(b_log, fresh_plan, b_cursor_, b_ranges, full_b);
+    advance_cursor(m_log, fresh_plan, m_cursor_, m_ranges, full_m);
+    const bool b_changed = full_b || !b_ranges.empty();
+    const bool m_changed = full_m || !m_ranges.empty();
+    if (!full_a && !b_changed && !m_changed && a_ranges.empty()) return 0;
+    // B's structure changed: the cached transpose (pattern + permutation)
+    // is stale regardless of which output rows it feeds.
+    if (b_changed && b_csc_ != nullptr) b_csc_->invalidate();
+    if (nrows_ == 0) return 0;
+
+    // Mark the output rows whose flops change (A rows mutated, or A rows
+    // referencing a mutated B row) and, separately, every output row whose
+    // bounds/structure must be recounted (flops-dirty ∪ mask-dirty rows).
+    const auto n = static_cast<std::size_t>(nrows_);
+    std::vector<char> flop_dirty(n, 0);
+    if (full_a) {
+      std::fill(flop_dirty.begin(), flop_dirty.end(), 1);
+    } else {
+      for (const Range& r : a_ranges) mark_rows(flop_dirty, r.begin, r.end);
+    }
+    if (full_b) {
+      std::fill(flop_dirty.begin(), flop_dirty.end(), 1);
+    } else if (!b_ranges.empty()) {
+      // Rows of A referencing a dirty B row, via a bitmap over A's columns.
+      std::vector<char> b_dirty_row(static_cast<std::size_t>(a.ncols), 0);
+      for (const Range& r : b_ranges) {
+        const auto lo = static_cast<std::size_t>(std::max<IT>(0, r.begin));
+        const auto hi = static_cast<std::size_t>(std::min<IT>(a.ncols, r.end));
+        if (lo < hi) {
+          std::fill(b_dirty_row.begin() + static_cast<std::ptrdiff_t>(lo),
+                    b_dirty_row.begin() + static_cast<std::ptrdiff_t>(hi), 1);
+        }
+      }
+#pragma omp parallel for schedule(dynamic, 512)
+      for (IT i = 0; i < nrows_; ++i) {
+        if (flop_dirty[static_cast<std::size_t>(i)]) continue;
+        for (IT p = a.rowptr[i]; p < a.rowptr[i + 1]; ++p) {
+          if (b_dirty_row[static_cast<std::size_t>(a.colids[p])]) {
+            flop_dirty[static_cast<std::size_t>(i)] = 1;
+            break;
+          }
+        }
+      }
+    }
+    widen_to_blocks(flop_dirty);
+
+    std::vector<char> out_dirty = flop_dirty;
+    if (full_m) {
+      std::fill(out_dirty.begin(), out_dirty.end(), 1);
+    } else {
+      for (const Range& r : m_ranges) mark_rows(out_dirty, r.begin, r.end);
+    }
+    widen_to_blocks(out_dirty);
+
+    // Valued semantics carry a zero-filtered mask copy; any mask change can
+    // move explicit zeros, so refilter (the filtered copy is whole-matrix).
+    if (m_changed && semantics_ == MaskSemantics::kValued) {
+      filtered_ = drop_explicit_zeros(m);
+    }
+
+    bool any_flop_dirty = false;
+    for (char c : flop_dirty) any_flop_dirty |= (c != 0);
+    if (any_flop_dirty) refresh_flops(a, b, flop_dirty);
+
+    std::size_t rows_refreshed = 0;
+    for (char c : out_dirty) rows_refreshed += (c != 0);
+    if (rows_refreshed == 0) return 0;
+    if (!bounds_.empty()) refresh_bounds(m, out_dirty);
+    if (!structure_rowptr_.empty()) refresh_structure(a, b, m, out_dirty);
+    return rows_refreshed;
+  }
+
  private:
+  /// Last-synced position in one operand's dirty log. log_id 0 = never
+  /// pinned to any log.
+  struct DirtyCursor {
+    std::uint64_t log_id = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  /// Advance `cur` to `log`'s current epoch, reporting what was missed:
+  /// `ranges` for an ordinary catch-up, `full` when staleness is unknowable
+  /// (no cursor for a non-empty log, or the log disappeared/was replaced).
+  static void advance_cursor(const StructureDirtyLog<IT>* log, bool fresh_plan,
+                             DirtyCursor& cur,
+                             std::vector<typename StructureDirtyLog<IT>::Range>&
+                                 ranges,
+                             bool& full) {
+    if (log == nullptr) {
+      // This call tracks no log for the operand, but an earlier one did:
+      // mutations may have happened unseen — refresh everything.
+      if (cur.log_id != 0) {
+        full = true;
+        cur = {};
+      }
+      return;
+    }
+    if (cur.log_id != log->id()) {
+      // First encounter with this log. A fresh plan's artifacts already
+      // reflect the current matrices, and an epoch-0 log has recorded
+      // nothing yet; any other combination is unknowably stale.
+      if (!fresh_plan && log->epoch() != 0) full = true;
+      cur = {log->id(), log->epoch()};
+      return;
+    }
+    if (cur.epoch != log->epoch()) {
+      ranges = log->ranges_since(cur.epoch);
+      cur.epoch = log->epoch();
+    }
+  }
+
+  void mark_rows(std::vector<char>& v, IT begin, IT end) const {
+    const auto lo = static_cast<std::size_t>(std::clamp<IT>(begin, 0, nrows_));
+    const auto hi = static_cast<std::size_t>(std::clamp<IT>(end, 0, nrows_));
+    if (lo < hi) {
+      std::fill(v.begin() + static_cast<std::ptrdiff_t>(lo),
+                v.begin() + static_cast<std::ptrdiff_t>(hi), 1);
+    }
+  }
+
+  /// Widen per-row dirty marks to kPlanDirtyBlockRows blocks — the unit of
+  /// the plan's dirty tracking (and of the skipped-work accounting).
+  void widen_to_blocks(std::vector<char>& v) const {
+    for (std::size_t b0 = 0; b0 < v.size();
+         b0 += static_cast<std::size_t>(kPlanDirtyBlockRows)) {
+      const std::size_t b1 =
+          std::min(v.size(), b0 + static_cast<std::size_t>(kPlanDirtyBlockRows));
+      bool any = false;
+      for (std::size_t i = b0; i < b1; ++i) any |= (v[i] != 0);
+      if (any) {
+        std::fill(v.begin() + static_cast<std::ptrdiff_t>(b0),
+                  v.begin() + static_cast<std::ptrdiff_t>(b1), 1);
+      }
+    }
+  }
+
+  /// Copy-on-write flops refresh: the vector may be shared with sibling
+  /// plans of a batch, so dirty rows are recounted into a fresh copy.
+  void refresh_flops(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+                     const std::vector<char>& dirty) {
+    auto next = std::make_shared<std::vector<std::int64_t>>(*flops_);
+#pragma omp parallel for schedule(dynamic, 256)
+    for (IT i = 0; i < nrows_; ++i) {
+      if (!dirty[static_cast<std::size_t>(i)]) continue;
+      std::int64_t f = 0;
+      for (IT p = a.rowptr[i]; p < a.rowptr[i + 1]; ++p) {
+        f += b.row_nnz(a.colids[p]);
+      }
+      (*next)[static_cast<std::size_t>(i)] = f;
+    }
+    flops_ = std::move(next);
+    total_flops_ = 0;
+    for (std::int64_t f : *flops_) total_flops_ += f;
+    partition_ = RowPartition<IT>{};  // lazily rebuilt from the new flops
+    histogram_built_ = false;
+  }
+
+  void refresh_bounds(const CsrMatrix<IT, MT>& m,
+                      const std::vector<char>& dirty) {
+    const CsrMatrix<IT, MT>& mm = effective_mask(m);
+#pragma omp parallel for schedule(static)
+    for (IT i = 0; i < nrows_; ++i) {
+      if (!dirty[static_cast<std::size_t>(i)]) continue;
+      const auto mask_nnz = static_cast<std::size_t>(mm.row_nnz(i));
+      const auto f =
+          static_cast<std::size_t>((*flops_)[static_cast<std::size_t>(i)]);
+      const std::size_t allowed =
+          kind_ == MaskKind::kMask
+              ? mask_nnz
+              : static_cast<std::size_t>(ncols_) - mask_nnz;
+      bounds_[static_cast<std::size_t>(i)] = std::min(allowed, f);
+    }
+  }
+
+  /// Exact symbolic recount of the dirty rows — the number of distinct
+  /// admitted product columns, which is precisely what every kernel's
+  /// symbolic pass produces (the two-phase numeric driver asserts it) —
+  /// then a rebuild of the row-pointer prefix sum. Untouched rows keep
+  /// their counts: that is the skipped symbolic work partial refresh buys.
+  void refresh_structure(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+                         const CsrMatrix<IT, MT>& m,
+                         const std::vector<char>& dirty) {
+    const CsrMatrix<IT, MT>& mm = effective_mask(m);
+    std::vector<IT> dirty_rows;
+    for (IT i = 0; i < nrows_; ++i) {
+      if (dirty[static_cast<std::size_t>(i)]) dirty_rows.push_back(i);
+    }
+    std::vector<IT> counts(dirty_rows.size(), 0);
+    const auto ncols = static_cast<std::size_t>(ncols_);
+#pragma omp parallel
+    {
+      // Generation-stamped dense mask/seen arrays: O(ncols) once per
+      // thread, O(row output) per row — the MSA bookkeeping trick.
+      std::vector<std::uint32_t> mask_gen(ncols, 0);
+      std::vector<std::uint32_t> seen_gen(ncols, 0);
+      std::uint32_t gen = 0;
+#pragma omp for schedule(dynamic, 16)
+      for (std::int64_t idx = 0;
+           idx < static_cast<std::int64_t>(dirty_rows.size()); ++idx) {
+        const IT i = dirty_rows[static_cast<std::size_t>(idx)];
+        ++gen;
+        for (IT mj : mm.row_cols(i)) {
+          mask_gen[static_cast<std::size_t>(mj)] = gen;
+        }
+        IT cnt = 0;
+        for (IT p = a.rowptr[i]; p < a.rowptr[i + 1]; ++p) {
+          const IT k = a.colids[p];
+          for (IT q = b.rowptr[k]; q < b.rowptr[k + 1]; ++q) {
+            const auto j = static_cast<std::size_t>(b.colids[q]);
+            const bool admitted = kind_ == MaskKind::kMask
+                                      ? mask_gen[j] == gen
+                                      : mask_gen[j] != gen;
+            if (admitted && seen_gen[j] != gen) {
+              seen_gen[j] = gen;
+              ++cnt;
+            }
+          }
+        }
+        counts[static_cast<std::size_t>(idx)] = cnt;
+      }
+    }
+    std::vector<IT> lens(static_cast<std::size_t>(nrows_));
+    for (IT i = 0; i < nrows_; ++i) {
+      lens[static_cast<std::size_t>(i)] =
+          structure_rowptr_[static_cast<std::size_t>(i) + 1] -
+          structure_rowptr_[static_cast<std::size_t>(i)];
+    }
+    for (std::size_t idx = 0; idx < dirty_rows.size(); ++idx) {
+      lens[static_cast<std::size_t>(dirty_rows[idx])] = counts[idx];
+    }
+    structure_rowptr_[0] = 0;
+    for (IT i = 0; i < nrows_; ++i) {
+      structure_rowptr_[static_cast<std::size_t>(i) + 1] =
+          structure_rowptr_[static_cast<std::size_t>(i)] +
+          lens[static_cast<std::size_t>(i)];
+    }
+  }
+
   IT nrows_;
   IT ncols_;
   MaskKind kind_;
@@ -567,6 +970,10 @@ class SpgemmPlan {
   std::vector<IT> structure_rowptr_;    // lazy, 2P (or adopted from 1P)
   std::shared_ptr<CscTransposeCache<IT, VT>> b_csc_;  // lazy, Inner
   RowPartition<IT> partition_;          // lazy
+
+  DirtyCursor a_cursor_;  // last-synced dirty-log positions (sync())
+  DirtyCursor b_cursor_;
+  DirtyCursor m_cursor_;
 };
 
 }  // namespace msp

@@ -64,6 +64,7 @@
 // reference obtained from a lease is only valid while that lease lives.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -578,61 +579,9 @@ class ShardStore {
   std::unique_ptr<AsyncOpGroup> async_;  // lazy; destroyed first in ~ShardStore
 };
 
-/// Copy rows [begin, end) of `a` as a self-contained CSR over the full
-/// column space — the shard payload.
-template <class IT, class VT>
-CsrMatrix<IT, VT> slice_rows(const CsrMatrix<IT, VT>& a, IT begin, IT end) {
-  if (begin < 0 || end < begin || end > a.nrows) {
-    throw invalid_argument_error("slice_rows: range out of bounds");
-  }
-  const std::size_t lo = static_cast<std::size_t>(a.rowptr[begin]);
-  const std::size_t hi = static_cast<std::size_t>(a.rowptr[end]);
-  std::vector<IT> rowptr(static_cast<std::size_t>(end - begin) + 1);
-  for (IT i = begin; i <= end; ++i) {
-    rowptr[static_cast<std::size_t>(i - begin)] =
-        a.rowptr[i] - static_cast<IT>(lo);
-  }
-  std::vector<IT> colids(a.colids.begin() + static_cast<std::ptrdiff_t>(lo),
-                         a.colids.begin() + static_cast<std::ptrdiff_t>(hi));
-  std::vector<VT> values(a.values.begin() + static_cast<std::ptrdiff_t>(lo),
-                         a.values.begin() + static_cast<std::ptrdiff_t>(hi));
-  return CsrMatrix<IT, VT>(end - begin, a.ncols, std::move(rowptr),
-                           std::move(colids), std::move(values));
-}
-
-/// Concatenate row blocks (in order) into one CSR — the inverse of the
-/// shard split, used by the tiled driver to stitch per-shard results.
-template <class IT, class VT>
-CsrMatrix<IT, VT> stitch_row_blocks(const std::vector<CsrMatrix<IT, VT>>& parts,
-                                    IT ncols) {
-  IT nrows = 0;
-  std::size_t nnz = 0;
-  for (const auto& p : parts) {
-    if (p.ncols != ncols) {
-      throw invalid_argument_error("stitch_row_blocks: column-count mismatch");
-    }
-    nrows += p.nrows;
-    nnz += p.nnz();
-  }
-  std::vector<IT> rowptr;
-  rowptr.reserve(static_cast<std::size_t>(nrows) + 1);
-  rowptr.push_back(0);
-  std::vector<IT> colids;
-  colids.reserve(nnz);
-  std::vector<VT> values;
-  values.reserve(nnz);
-  IT base = 0;
-  for (const auto& p : parts) {
-    for (IT i = 0; i < p.nrows; ++i) {
-      rowptr.push_back(base + p.rowptr[static_cast<std::size_t>(i) + 1]);
-    }
-    colids.insert(colids.end(), p.colids.begin(), p.colids.end());
-    values.insert(values.end(), p.values.begin(), p.values.end());
-    base += static_cast<IT>(p.nnz());
-  }
-  return CsrMatrix<IT, VT>(nrows, ncols, std::move(rowptr), std::move(colids),
-                           std::move(values));
-}
+// slice_rows / stitch_row_blocks — the shard split and its inverse — live
+// in matrix/csr.hpp (they are generic CSR row-block operations, shared
+// with the engine's incremental result splice).
 
 template <class IT, class VT>
 class ShardedMatrix;
@@ -730,62 +679,78 @@ class ShardedMatrix {
                 ShardStore* store = nullptr)
       : nrows_(a.nrows), ncols_(a.ncols), ranges_(std::move(ranges)),
         store_(store) {
-    if (ranges_.size() < 2 || ranges_.front() != 0 ||
-        ranges_.back() != nrows_) {
-      throw invalid_argument_error("ShardedMatrix: malformed row ranges");
-    }
+    validate_ranges();
     const int k = static_cast<int>(ranges_.size()) - 1;
     slots_.reserve(static_cast<std::size_t>(k));
     for (int s = 0; s < k; ++s) {
-      if (ranges_[static_cast<std::size_t>(s) + 1] <
-          ranges_[static_cast<std::size_t>(s)]) {
-        throw invalid_argument_error("ShardedMatrix: descending row ranges");
-      }
-      auto slot = std::make_shared<Slot>();
-      slot->data = slice_rows(a, ranges_[static_cast<std::size_t>(s)],
-                              ranges_[static_cast<std::size_t>(s) + 1]);
-      slot->resident.store(true, std::memory_order_relaxed);
-      slot->fp = pattern_fingerprint(slot->data, false);
-      slot->bytes = payload_bytes(slot->data);
-      if (store_ != nullptr) {
-        if (reg_ == nullptr) reg_ = std::make_shared<Registration>(store_);
-        // The callbacks capture the shared slot, not `this`, so the
-        // sharded matrix stays movable and the store outlives nothing.
-        // fetch runs off-lock (possibly on a prefetch worker) and only
-        // builds a staged payload; install/drop mutate the slot and run
-        // under the store lock.
-        std::shared_ptr<Slot> sp = slot;
-        slot->store_id = store_->add(
-            slot->bytes,
-            /*save=*/
-            [sp](StorageBackend& be, const std::string& key) {
-              const std::vector<std::byte> blob =
-                  detail::serialize_shard(sp->data);
-              be.write(key, blob.data(), blob.size());
-            },
-            /*fetch=*/
-            [](StorageBackend& be, const std::string& key)
-                -> std::shared_ptr<void> {
-              const ReadBuffer blob = be.read(key);
-              return std::make_shared<CsrMatrix<IT, VT>>(
-                  detail::deserialize_shard<IT, VT>(blob.data(), blob.size(),
-                                                    key));
-            },
-            /*install=*/
-            [sp](std::shared_ptr<void> staged) {
-              sp->data = std::move(
-                  *std::static_pointer_cast<CsrMatrix<IT, VT>>(staged));
-              sp->resident.store(true, std::memory_order_release);
-            },
-            /*drop=*/
-            [sp] {
-              sp->data = CsrMatrix<IT, VT>{};
-              sp->resident.store(false, std::memory_order_release);
-            });
-        reg_->ids.push_back(slot->store_id);
-      }
+      auto slot = make_slot(slice_rows(a, ranges_[static_cast<std::size_t>(s)],
+                                       ranges_[static_cast<std::size_t>(s) +
+                                               1]));
+      register_slot(slot);
       slots_.push_back(std::move(slot));
     }
+  }
+
+  /// Streaming split (the out-of-core ingest path): build the shards one
+  /// row block at a time from a generator callback, never materializing a
+  /// resident CSR of the whole matrix. `gen(s, row_begin, row_end)` must
+  /// return shard s's rows as a self-contained CsrMatrix over the full
+  /// column space (exactly what slice_rows produces — but the generator
+  /// may parse them from a file, receive them from a stream, etc.).
+  ///
+  /// With a store, each block is registered — and the budget enforced —
+  /// *before* the next block is generated, so peak unpinned residency is
+  /// bounded by the store budget plus the single block being produced,
+  /// independent of the matrix size.
+  template <class Gen>
+  static ShardedMatrix from_generator(IT nrows, IT ncols,
+                                      std::vector<IT> ranges, Gen&& gen,
+                                      ShardStore* store = nullptr) {
+    ShardedMatrix sm(StreamTag{}, nrows, ncols, std::move(ranges), store);
+    const int k = static_cast<int>(sm.ranges_.size()) - 1;
+    sm.slots_.reserve(static_cast<std::size_t>(k));
+    for (int s = 0; s < k; ++s) {
+      const IT lo = sm.ranges_[static_cast<std::size_t>(s)];
+      const IT hi = sm.ranges_[static_cast<std::size_t>(s) + 1];
+      CsrMatrix<IT, VT> block = gen(s, lo, hi);
+      if (block.nrows != hi - lo || block.ncols != ncols) {
+        throw invalid_argument_error(
+            "ShardedMatrix: generator produced a block of the wrong shape");
+      }
+      auto slot = make_slot(std::move(block));
+      sm.register_slot(slot);  // store add() enforces the budget here
+      sm.slots_.push_back(std::move(slot));
+    }
+    return sm;
+  }
+
+  /// Per-shard invalidation for streaming updates: re-slice from `a` (the
+  /// full post-update matrix) exactly the shards whose row ranges overlap
+  /// [begin, end), giving them fresh payloads, fingerprints, and store
+  /// entries. Untouched shards keep their split-time fingerprints, so the
+  /// tiled driver's cached per-shard plans (and flops) stay valid for
+  /// them. Shape must be unchanged and no leases may be outstanding on the
+  /// refreshed shards. Returns the number of shards refreshed.
+  int refresh_rows(const CsrMatrix<IT, VT>& a, IT begin, IT end) {
+    if (a.nrows != nrows_ || a.ncols != ncols_) {
+      throw invalid_argument_error(
+          "ShardedMatrix::refresh_rows: matrix shape changed");
+    }
+    int refreshed = 0;
+    for (int s = 0; s < shards(); ++s) {
+      if (row_end(s) <= begin || row_begin(s) >= end) continue;
+      auto fresh = make_slot(slice_rows(a, row_begin(s), row_end(s)));
+      if (store_ != nullptr) {
+        const std::size_t old_id = slot(s).store_id;
+        store_->remove(old_id);  // asserts no pins; deletes the stale blob
+        register_slot(fresh);
+        auto& ids = reg_->ids;
+        ids.erase(std::find(ids.begin(), ids.end(), old_id));
+      }
+      slots_[static_cast<std::size_t>(s)] = std::move(fresh);
+      ++refreshed;
+    }
+    return refreshed;
   }
 
   [[nodiscard]] int shards() const { return static_cast<int>(slots_.size()); }
@@ -903,6 +868,77 @@ class ShardedMatrix {
     ShardStore* store;
     std::vector<std::size_t> ids;
   };
+
+  /// Shape-only construction for the streaming factory: validates the
+  /// ranges, leaves slots_ empty for the caller to fill one block at a
+  /// time.
+  struct StreamTag {};
+  ShardedMatrix(StreamTag, IT nrows, IT ncols, std::vector<IT> ranges,
+                ShardStore* store)
+      : nrows_(nrows), ncols_(ncols), ranges_(std::move(ranges)),
+        store_(store) {
+    validate_ranges();
+  }
+
+  void validate_ranges() const {
+    if (ranges_.size() < 2 || ranges_.front() != 0 ||
+        ranges_.back() != nrows_) {
+      throw invalid_argument_error("ShardedMatrix: malformed row ranges");
+    }
+    for (std::size_t s = 0; s + 1 < ranges_.size(); ++s) {
+      if (ranges_[s + 1] < ranges_[s]) {
+        throw invalid_argument_error("ShardedMatrix: descending row ranges");
+      }
+    }
+  }
+
+  /// A fresh resident slot around `data`, fingerprinted at creation.
+  static std::shared_ptr<Slot> make_slot(CsrMatrix<IT, VT>&& data) {
+    auto slot = std::make_shared<Slot>();
+    slot->data = std::move(data);
+    slot->resident.store(true, std::memory_order_relaxed);
+    slot->fp = pattern_fingerprint(slot->data, false);
+    slot->bytes = payload_bytes(slot->data);
+    return slot;
+  }
+
+  /// Register a resident slot's payload with the store (no-op without
+  /// one): accounts its bytes — enforcing the budget immediately — and
+  /// wires the spill/reload callbacks. The callbacks capture the shared
+  /// slot, not `this`, so the sharded matrix stays movable and the store
+  /// outlives nothing. fetch runs off-lock (possibly on a prefetch worker)
+  /// and only builds a staged payload; install/drop mutate the slot and
+  /// run under the store lock.
+  void register_slot(const std::shared_ptr<Slot>& slot) {
+    if (store_ == nullptr) return;
+    if (reg_ == nullptr) reg_ = std::make_shared<Registration>(store_);
+    std::shared_ptr<Slot> sp = slot;
+    slot->store_id = store_->add(
+        slot->bytes,
+        /*save=*/
+        [sp](StorageBackend& be, const std::string& key) {
+          const std::vector<std::byte> blob = detail::serialize_shard(sp->data);
+          be.write(key, blob.data(), blob.size());
+        },
+        /*fetch=*/
+        [](StorageBackend& be, const std::string& key) -> std::shared_ptr<void> {
+          const ReadBuffer blob = be.read(key);
+          return std::make_shared<CsrMatrix<IT, VT>>(
+              detail::deserialize_shard<IT, VT>(blob.data(), blob.size(), key));
+        },
+        /*install=*/
+        [sp](std::shared_ptr<void> staged) {
+          sp->data =
+              std::move(*std::static_pointer_cast<CsrMatrix<IT, VT>>(staged));
+          sp->resident.store(true, std::memory_order_release);
+        },
+        /*drop=*/
+        [sp] {
+          sp->data = CsrMatrix<IT, VT>{};
+          sp->resident.store(false, std::memory_order_release);
+        });
+    reg_->ids.push_back(slot->store_id);
+  }
 
   [[nodiscard]] Slot& slot(int s) const {
     MSP_ASSERT(s >= 0 && s < shards());

@@ -41,6 +41,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -259,6 +260,63 @@ class TiledEngine {
       const std::type_identity_t<BoundMatrix<IT, VT>>* b_handle = nullptr) {
     const ShardedMatrix<IT, MT> msh(m, a);
     return multiply<SR>(scheme, a, b, msh, kind, semantics, stats, b_handle);
+  }
+
+  /// Streaming-update passthrough for a sharded A operand: apply `edits`
+  /// to the delta matrix, then re-slice only the shards whose row ranges
+  /// overlap the touched rows (ShardedMatrix::refresh_rows). Refreshed
+  /// shards carry new split fingerprints, so their next multiply re-plans
+  /// and recounts flops from scratch; untouched shards keep their
+  /// fingerprints and hit both the plan cache and this engine's flops
+  /// cache. Stale flops entries for the old fingerprints age out of the
+  /// FIFO. Requires no outstanding leases on the overlapping shards.
+  template <class IT, class VT>
+  DeltaUpdateResult<IT> update(DeltaMatrix<IT, VT>& dm,
+                               ShardedMatrix<IT, VT>& a,
+                               std::span<const EdgeUpdate<IT, VT>> edits) {
+    if (a.nrows() != dm.nrows() || a.ncols() != dm.ncols()) {
+      throw invalid_argument_error(
+          "TiledEngine::update: sharded matrix does not match the delta "
+          "matrix's shape");
+    }
+    DeltaUpdateResult<IT> res = dm.apply_updates(edits);
+    for (int s = 0; s < a.shards(); ++s) {
+      const IT lo = a.row_begin(s);
+      const IT hi = a.row_end(s);
+      for (const auto& run : res.touched_ranges) {
+        if (run.first < hi && lo < run.second) {
+          // Re-slice each overlapping shard exactly once, even when several
+          // touched runs land in it (the covering range would also re-slice
+          // every untouched shard sitting between two scattered runs).
+          a.refresh_rows(dm.matrix(), lo, hi);
+          break;
+        }
+      }
+    }
+    return res;
+  }
+
+  /// Monolithic-handle passthrough: same contract as Engine::update.
+  template <class IT, class VT>
+  DeltaUpdateResult<IT> update(DeltaMatrix<IT, VT>& dm,
+                               BoundMatrix<IT, VT>& handle,
+                               std::span<const EdgeUpdate<IT, VT>> edits) {
+    return engine_->update(dm, handle, edits);
+  }
+
+  /// Drop the tiled layer's own cache (per-shard flops keyed by split
+  /// fingerprints) along with the wrapped engine's plan cache, scratch,
+  /// and counters. In non-owning mode this clears the shared engine too —
+  /// same semantics as calling Engine::clear() yourself.
+  void clear() {
+    flops_cache_.clear();
+    engine_->clear();
+  }
+
+  /// Entries currently held by the per-shard flops cache (tests and
+  /// observability; bounded by kMaxFlopsEntries).
+  [[nodiscard]] std::size_t flops_cache_size() const {
+    return flops_cache_.size();
   }
 
  private:

@@ -97,4 +97,62 @@ struct CsrMatrix {
   }
 };
 
+/// Copy rows [begin, end) of `a` as a self-contained CSR over the full
+/// column space — the shard payload, and the row block the incremental
+/// result splice recomputes.
+template <class IT, class VT>
+CsrMatrix<IT, VT> slice_rows(const CsrMatrix<IT, VT>& a, IT begin, IT end) {
+  if (begin < 0 || end < begin || end > a.nrows) {
+    throw invalid_argument_error("slice_rows: range out of bounds");
+  }
+  const std::size_t lo = static_cast<std::size_t>(a.rowptr[begin]);
+  const std::size_t hi = static_cast<std::size_t>(a.rowptr[end]);
+  std::vector<IT> rowptr(static_cast<std::size_t>(end - begin) + 1);
+  for (IT i = begin; i <= end; ++i) {
+    rowptr[static_cast<std::size_t>(i - begin)] =
+        a.rowptr[i] - static_cast<IT>(lo);
+  }
+  std::vector<IT> colids(a.colids.begin() + static_cast<std::ptrdiff_t>(lo),
+                         a.colids.begin() + static_cast<std::ptrdiff_t>(hi));
+  std::vector<VT> values(a.values.begin() + static_cast<std::ptrdiff_t>(lo),
+                         a.values.begin() + static_cast<std::ptrdiff_t>(hi));
+  return CsrMatrix<IT, VT>(end - begin, a.ncols, std::move(rowptr),
+                           std::move(colids), std::move(values));
+}
+
+/// Concatenate row blocks (in order) into one CSR — the inverse of the
+/// row-block split, used by the tiled driver to stitch per-shard results
+/// and by the incremental splice to reassemble cached + recomputed rows.
+template <class IT, class VT>
+CsrMatrix<IT, VT> stitch_row_blocks(const std::vector<CsrMatrix<IT, VT>>& parts,
+                                    IT ncols) {
+  IT nrows = 0;
+  std::size_t nnz = 0;
+  for (const auto& p : parts) {
+    if (p.ncols != ncols) {
+      throw invalid_argument_error("stitch_row_blocks: column-count mismatch");
+    }
+    nrows += p.nrows;
+    nnz += p.nnz();
+  }
+  std::vector<IT> rowptr;
+  rowptr.reserve(static_cast<std::size_t>(nrows) + 1);
+  rowptr.push_back(0);
+  std::vector<IT> colids;
+  colids.reserve(nnz);
+  std::vector<VT> values;
+  values.reserve(nnz);
+  IT base = 0;
+  for (const auto& p : parts) {
+    for (IT i = 0; i < p.nrows; ++i) {
+      rowptr.push_back(base + p.rowptr[static_cast<std::size_t>(i) + 1]);
+    }
+    colids.insert(colids.end(), p.colids.begin(), p.colids.end());
+    values.insert(values.end(), p.values.begin(), p.values.end());
+    base += static_cast<IT>(p.nnz());
+  }
+  return CsrMatrix<IT, VT>(nrows, ncols, std::move(rowptr), std::move(colids),
+                           std::move(values));
+}
+
 }  // namespace msp

@@ -16,6 +16,7 @@
 #include "core/baseline.hpp"         // IWYU pragma: export
 #include "core/bound_matrix.hpp"     // IWYU pragma: export
 #include "core/config.hpp"           // IWYU pragma: export
+#include "core/delta_overlay.hpp"    // IWYU pragma: export
 #include "core/dispatch.hpp"         // IWYU pragma: export
 #include "core/engine.hpp"           // IWYU pragma: export
 #include "core/exec_context.hpp"     // IWYU pragma: export
@@ -42,6 +43,7 @@
 #include "gen/structured.hpp"        // IWYU pragma: export
 #include "matrix/convert.hpp"        // IWYU pragma: export
 #include "matrix/dcsr.hpp"           // IWYU pragma: export
+#include "matrix/delta.hpp"          // IWYU pragma: export
 #include "matrix/dense.hpp"          // IWYU pragma: export
 #include "matrix/mmio.hpp"           // IWYU pragma: export
 #include "matrix/ops.hpp"            // IWYU pragma: export

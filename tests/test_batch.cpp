@@ -15,6 +15,7 @@
 #include "conformance/conformance_support.hpp"
 #include "core/dispatch.hpp"
 #include "core/exec_context.hpp"
+#include "core/tiled_engine.hpp"
 #include "core/hash_accumulator.hpp"
 #include "core/plan.hpp"
 #include "gen/erdos_renyi.hpp"
@@ -227,6 +228,61 @@ TEST(CacheHygiene, ClearResetsStatsAndPlans) {
   EXPECT_EQ(ctx.cache_stats().plan_misses, 0u);
   EXPECT_EQ(ctx.cache_stats().plan_evictions, 0u);
   EXPECT_DOUBLE_EQ(ctx.cache_stats().plan_seconds, 0.0);
+}
+
+TEST(CacheHygiene, ClearAndResetStatsCoverTiledCounters) {
+  // Regression pin: the tiled/prefetch counters added after the original
+  // clear()/reset_stats() fix must reset with everything else — a context
+  // reused across bench configurations would otherwise carry shard and
+  // prefetch traffic from the previous one.
+  const auto a = random_csr<int, double>(24, 24, 0.3, 571);
+  const auto m = random_csr<int, double>(24, 24, 0.4, 572);
+  TiledEngine tiled;
+  (void)tiled.multiply<SR>(Scheme::kMsa2P, ShardedMatrix<int, double>(a, 3),
+                           a, m);
+  ASSERT_GT(tiled.cache_stats().tiled_calls, 0u);
+  ASSERT_GT(tiled.cache_stats().tiled_shards, 0u);
+
+  tiled.engine().reset_stats();
+  EXPECT_EQ(tiled.cache_stats().tiled_calls, 0u);
+  EXPECT_EQ(tiled.cache_stats().tiled_shards, 0u);
+  EXPECT_EQ(tiled.cache_stats().shard_spills, 0u);
+  EXPECT_EQ(tiled.cache_stats().shard_reloads, 0u);
+  EXPECT_EQ(tiled.cache_stats().prefetch_hits, 0u);
+  EXPECT_EQ(tiled.cache_stats().prefetch_wasted, 0u);
+  EXPECT_EQ(tiled.cache_stats().plan_partial_refreshes, 0u);
+  EXPECT_EQ(tiled.cache_stats().plan_rows_refreshed, 0u);
+
+  (void)tiled.multiply<SR>(Scheme::kMsa2P, ShardedMatrix<int, double>(a, 3),
+                           a, m);
+  ASSERT_GT(tiled.cache_stats().tiled_calls, 0u);
+  tiled.engine().clear();
+  EXPECT_EQ(tiled.cache_stats().tiled_calls, 0u);
+  EXPECT_EQ(tiled.cache_stats().tiled_shards, 0u);
+}
+
+TEST(CacheHygiene, TiledEngineClearDropsItsFlopsCache) {
+  // The genuine stale state of the tiled layer: TiledEngine's per-shard
+  // flops cache is keyed by split fingerprints and used to survive
+  // Engine::clear() untouched.
+  const auto a = random_csr<int, double>(24, 24, 0.3, 581);
+  const auto m = random_csr<int, double>(24, 24, 0.4, 582);
+  TiledEngine tiled;
+  (void)tiled.multiply<SR>(Scheme::kMsa2P, ShardedMatrix<int, double>(a, 3),
+                           a, m);
+  ASSERT_GT(tiled.flops_cache_size(), 0u);
+  ASSERT_GT(tiled.engine().context().plan_count(), 0u);
+
+  tiled.clear();
+  EXPECT_EQ(tiled.flops_cache_size(), 0u);
+  EXPECT_EQ(tiled.engine().context().plan_count(), 0u);
+  EXPECT_EQ(tiled.cache_stats().tiled_calls, 0u);
+
+  // Still fully functional after the wipe.
+  const auto c = tiled.multiply<SR>(
+      Scheme::kMsa2P, ShardedMatrix<int, double>(a, 3), a, m);
+  Engine mono;
+  EXPECT_TRUE(csr_equal(mono.multiply_scheme<SR>(Scheme::kMsa2P, a, a, m), c));
 }
 
 TEST(CacheHygiene, ResetStatsKeepsPlansWarm) {
