@@ -15,6 +15,16 @@
 # layer's differential fuzzer and incremental-invalidation tests,
 # `ctest -L dynamic`) in the regular tier-1 build — the quick loop while
 # working on DeltaMatrix / the dirty-range plumbing.
+#
+# `check.sh --checked` configures a Debug build with the checked-build
+# invariant validators active (-DMSPGEMM_CHECKED=ON: every MSP_CHECK_*
+# boundary in src/ deep-validates, plus _GLIBCXX_ASSERTIONS) and runs the
+# conformance/fuzz/dynamic suites and the seeded-corruption tests —
+# mirroring the CI `checked` job.
+#
+# `check.sh --lint` runs the static lint gate (scripts/lint.sh: house
+# rules + clang-tidy-with-baseline when installed) — mirroring the CI
+# `lint` job, minus its hard clang-tidy requirement.
 set -eu
 cd "$(dirname "$0")/.."
 if [ "${1:-}" = "--sanitize" ]; then
@@ -32,6 +42,13 @@ elif [ "${1:-}" = "--tsan" ]; then
 elif [ "${1:-}" = "--dynamic" ]; then
   cmake -B build -S . && cmake --build build -j
   cd build && ctest --output-on-failure -L dynamic -j
+elif [ "${1:-}" = "--checked" ]; then
+  cmake -B build-checked -S . -DCMAKE_BUILD_TYPE=Debug -DMSPGEMM_CHECKED=ON
+  cmake --build build-checked -j
+  cd build-checked && \
+    ctest --output-on-failure -L 'conformance|fuzz|dynamic|checked' -j
+elif [ "${1:-}" = "--lint" ]; then
+  exec sh scripts/lint.sh
 else
   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
 fi

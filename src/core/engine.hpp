@@ -56,6 +56,7 @@
 #include "core/bound_matrix.hpp"
 #include "core/exec_context.hpp"
 #include "core/flops.hpp"
+#include "core/invariants.hpp"
 #include "core/masked_spmv.hpp"
 #include "core/scheme.hpp"
 #include "core/tuner.hpp"
@@ -364,6 +365,10 @@ class Engine {
         }
         const auto& prev =
             *static_cast<const CsrMatrix<IT, VT>*>(entry->result.get());
+        // The cached previous result must have the exact output shape the
+        // current operands produce, or stitching row blocks into it would
+        // silently serve a result for different operands.
+        MSP_CHECK_SPLICE(prev, a.nrows, b.ncols, "Engine::multiply_scheme");
         if (dirty_rows == 0) {
           if (stats != nullptr) {
             stats->plan_cache_hit = true;
@@ -392,6 +397,8 @@ class Engine {
             parts.push_back(slice_rows(prev, cursor, a.nrows));
           }
           CsrMatrix<IT, VT> out = stitch_row_blocks(parts, b.ncols);
+          MSP_CHECK_SPLICE(out, a.nrows, b.ncols, "Engine::multiply_scheme");
+          MSP_CHECK_CSR(out, "Engine::multiply_scheme(splice)");
           entry->result = std::make_shared<CsrMatrix<IT, VT>>(out);
           entry->a_epoch = log.epoch();
           if (stats != nullptr) {

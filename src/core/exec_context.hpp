@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/invariants.hpp"
 #include "core/masked_spgemm.hpp"
 #include "core/plan.hpp"
 #include "util/common.hpp"
@@ -158,6 +159,28 @@ class ExecutionContext {
     // recomputed at all (they go through the same test-only transform, so
     // hinted and unhinted calls agree on every key).
     const bool valued = semantics == MaskSemantics::kValued;
+#if MSP_CHECKED_BUILD
+    // Hint-freshness: a hinted fingerprint without a dirty log attached
+    // claims "this is still the hash of the operand's pattern" — recount
+    // and verify. (With a dirty log the handle is in identity-fingerprint
+    // mode and the hint is deliberately not a pattern hash.) Raw values
+    // are compared, before the test-only key transform.
+    if (hints != nullptr) {
+      static constexpr const char* kSite = "ExecutionContext::plan_for";
+      if (hints->fa.has_value() && hints->a_dirty == nullptr) {
+        MSP_CHECK_HINT_FP(*hints->fa, pattern_fingerprint(a, false), "A",
+                          kSite);
+      }
+      if (hints->fb.has_value() && hints->b_dirty == nullptr) {
+        MSP_CHECK_HINT_FP(*hints->fb, pattern_fingerprint(b, false), "B",
+                          kSite);
+      }
+      if (hints->fm.has_value() && hints->m_dirty == nullptr) {
+        MSP_CHECK_HINT_FP(*hints->fm, pattern_fingerprint(m, valued), "M",
+                          kSite);
+      }
+    }
+#endif
     const std::uint64_t fa = hints != nullptr && hints->fa.has_value()
                                  ? transform(*hints->fa)
                                  : fingerprint(a, false);
@@ -247,6 +270,9 @@ class ExecutionContext {
       ++stats_.plan_partial_refreshes;
       stats_.plan_rows_refreshed += rows_refreshed;
     }
+    // The plan is now claimed to be consistent with these operands —
+    // the boundary where every artifact accessor below starts trusting it.
+    MSP_CHECK_PLAN(plan, a, b, m, "ExecutionContext::multiply");
     const CsrMatrix<IT, MT>& mm = plan.effective_mask(m);
     const RowPartition<IT>& partition = plan.ensure_partition(max_threads());
     // Warm-plan phase upgrade (tuned kAuto): with the output structure
@@ -423,6 +449,8 @@ class ExecutionContext {
       plans[static_cast<std::size_t>(q)] = acquire_plan<IT, VT, MT>(
           keys.back(), a, b, *masks[q], opt.mask_kind, opt.mask_semantics,
           &hit, &flops);
+      MSP_CHECK_PLAN(*plans[static_cast<std::size_t>(q)], a, b, *masks[q],
+                     "ExecutionContext::multiply_batch");
       all_hits = all_hits && hit;
     }
 

@@ -27,6 +27,7 @@
 
 #include "core/config.hpp"
 #include "core/flops.hpp"
+#include "core/invariants.hpp"
 #include "matrix/csc.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/ops.hpp"
@@ -154,6 +155,14 @@ class StructureDirtyLog {
       entries_.erase(entries_.begin() + 1, entries_.begin() + half);
       entries_.front() = merged;
     }
+    MSP_CHECK_DIRTY_LOG(*this, "StructureDirtyLog::record");
+  }
+
+  /// Checked-build validator: epochs strictly increasing (the fold keeps the
+  /// merged front's newest epoch, so order survives collapses), every epoch
+  /// within (0, epoch()], and every range non-empty.
+  void check_invariants(const char* site) const {
+    invariants::check_dirty_log_ranges(entries_, epoch_, site);
   }
 
   /// Ranges recorded after epoch `since`. Collapsed entries carry their
@@ -224,6 +233,7 @@ template <class IT>
     }
     out.swap(tight);
   }
+  MSP_CHECK_COALESCE(runs, out, max_ranges, "coalesce_dirty_ranges");
   return out;
 }
 
@@ -786,6 +796,36 @@ class SpgemmPlan {
     if (!bounds_.empty()) refresh_bounds(m, out_dirty);
     if (!structure_rowptr_.empty()) refresh_structure(a, b, m, out_dirty);
     return rows_refreshed;
+  }
+
+  /// Checked-build validator: the plan's derived artifacts must agree with
+  /// the operands it is about to execute against — flops vector length,
+  /// mask shape, bounds length, symbolic rowptr sizing/monotonicity, and
+  /// the CSC transpose cache's shape versus B. Called after sync() on the
+  /// execution path; tests call it directly on deliberately corrupted plans.
+  void check_invariants(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+                        const CsrMatrix<IT, MT>& m, const char* site) const {
+    invariants::check_plan_flops_length(flops_->size(), a.nrows, site);
+    if (m.nrows != nrows_ || m.ncols != ncols_) {
+      invariants::fail("plan.mask_shape", site,
+                       "mask " + std::to_string(m.nrows) + "x" +
+                           std::to_string(m.ncols) + " vs plan " +
+                           std::to_string(nrows_) + "x" +
+                           std::to_string(ncols_));
+    }
+    if (!bounds_.empty() &&
+        bounds_.size() != static_cast<std::size_t>(nrows_)) {
+      invariants::fail("plan.bounds_length", site,
+                       "bounds.size()=" + std::to_string(bounds_.size()));
+    }
+    invariants::check_symbolic_rowptr(structure_rowptr_, nrows_, site);
+    if (b_csc_ != nullptr && b_csc_->built) {
+      invariants::check_csc_shape(
+          static_cast<std::int64_t>(b_csc_->csc.nrows),
+          static_cast<std::int64_t>(b_csc_->csc.ncols), b_csc_->perm.size(),
+          static_cast<std::int64_t>(b.nrows), static_cast<std::int64_t>(b.ncols),
+          b.nnz(), site);
+    }
   }
 
  private:

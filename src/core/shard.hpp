@@ -81,6 +81,7 @@
 #include <vector>
 
 #include "core/async_io.hpp"
+#include "core/invariants.hpp"
 #include "core/plan.hpp"
 #include "core/storage.hpp"
 #include "matrix/csr.hpp"
@@ -118,6 +119,7 @@ std::vector<std::byte> serialize_shard(const CsrMatrix<IT, VT>& m) {
   std::byte* p = buf.data();
   std::memcpy(p, &h, sizeof(h));
   p += sizeof(h);
+  // memcpy-safe: rowptr always holds nrows+1 >= 1 entries, data() nonnull.
   std::memcpy(p, m.rowptr.data(), m.rowptr.size() * sizeof(IT));
   p += m.rowptr.size() * sizeof(IT);
   // Empty shards have null colids/values data(); memcpy's arguments are
@@ -155,14 +157,19 @@ CsrMatrix<IT, VT> deserialize_shard(const std::byte* data, std::size_t size,
   std::vector<IT> rowptr(static_cast<std::size_t>(h.nrows) + 1);
   std::vector<IT> colids(static_cast<std::size_t>(h.nnz));
   std::vector<VT> values(static_cast<std::size_t>(h.nnz));
+  // memcpy-safe: rp_bytes >= sizeof(IT) (header guarantees nrows >= 0).
   std::memcpy(rowptr.data(), p, rp_bytes);
   p += rp_bytes;
   if (ci_bytes != 0) std::memcpy(colids.data(), p, ci_bytes);
   p += ci_bytes;
   if (va_bytes != 0) std::memcpy(values.data(), p, va_bytes);
-  return CsrMatrix<IT, VT>(static_cast<IT>(h.nrows), static_cast<IT>(h.ncols),
-                           std::move(rowptr), std::move(colids),
-                           std::move(values));
+  CsrMatrix<IT, VT> out(static_cast<IT>(h.nrows), static_cast<IT>(h.ncols),
+                        std::move(rowptr), std::move(colids),
+                        std::move(values));
+  // The deserialize boundary is where a corrupt-but-well-sized blob would
+  // enter the compute path (prefetch install / synchronous reload).
+  MSP_CHECK_CSR(out, "detail::deserialize_shard");
+  return out;
 }
 
 }  // namespace detail
@@ -294,6 +301,7 @@ class ShardStore {
     for (Entry& e : entries_) {
       if (!e.dead && e.state == State::kResident && e.pins == 0) evict(e);
     }
+    MSP_CHECK_SHARD_STORE(*this, "ShardStore::spill_all");
   }
 
   /// True while the given registered shard has a resident payload.
@@ -330,6 +338,24 @@ class ShardStore {
       g = async_.get();
     }
     if (g != nullptr) g->drain();  // outside mu_: jobs need the lock
+  }
+
+  /// Checked-build validator (public, takes the store lock): accounting and
+  /// state-machine invariants over every live entry — resident_bytes_ is
+  /// exactly the sum of resident payload sizes, pinned shards are resident,
+  /// refcounts are sane, tombstones carry nothing.
+  void check_invariants(const char* site) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    check_invariants_locked(site);
+  }
+
+  /// Test seam: skew the resident-bytes accounting by `delta` so
+  /// tests/test_invariants.cpp can prove the accounting invariant trips.
+  /// Never called outside tests.
+  void adjust_resident_bytes_for_testing(std::ptrdiff_t delta) {
+    std::lock_guard<std::mutex> lk(mu_);
+    resident_bytes_ = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(resident_bytes_) + delta);
   }
 
  private:
@@ -381,6 +407,7 @@ class ShardStore {
     entries_.push_back(std::move(e));
     resident_bytes_ += bytes;
     enforce();
+    MSP_CHECK_SHARD_STORE(*this, "ShardStore::add");
     return entries_.size() - 1;
   }
 
@@ -431,6 +458,7 @@ class ShardStore {
       --e.pins;  // no lease will be created; keep pin accounting exact
       throw;
     }
+    MSP_CHECK_SHARD_STORE(*this, "ShardStore::pin");
   }
 
   /// Called from lease destructors, so eviction-write failures cannot
@@ -478,6 +506,7 @@ class ShardStore {
     e.fetch = nullptr;
     e.install = nullptr;
     e.drop = nullptr;
+    MSP_CHECK_SHARD_STORE(*this, "ShardStore::remove");
   }
 
   /// Body of one scheduled prefetch: the entry was put into kLoading at
@@ -513,6 +542,7 @@ class ShardStore {
     stats_.reloads.fetch_add(1, std::memory_order_relaxed);
     cv_.notify_all();
     enforce();
+    MSP_CHECK_SHARD_STORE(*this, "ShardStore::prefetch_job");
   }
 
   /// Spill LRU unpinned shards until the unpinned resident set fits the
@@ -551,6 +581,40 @@ class ShardStore {
     MSP_ASSERT(resident_bytes_ >= e.bytes);
     resident_bytes_ -= e.bytes;
     stats_.spills.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Caller holds mu_. The actual invariant walk behind check_invariants
+  /// and the MSP_CHECK_SHARD_STORE boundary calls.
+  void check_invariants_locked(const char* site) const {
+    std::size_t resident = 0;
+    for (std::size_t id = 0; id < entries_.size(); ++id) {
+      const Entry& e = entries_[id];
+      if (e.pins < 0) {
+        invariants::fail("shard_store.pin_refcount", site,
+                         "shard " + std::to_string(id) + " pins=" +
+                             std::to_string(e.pins));
+      }
+      if (e.dead) {
+        if (e.pins != 0 || e.state == State::kResident) {
+          invariants::fail("shard_store.dead_entry", site,
+                           "tombstoned shard " + std::to_string(id) +
+                               " still pinned or resident");
+        }
+        continue;
+      }
+      if (e.pins > 0 && e.state != State::kResident) {
+        invariants::fail("shard_store.pinned_resident", site,
+                         "shard " + std::to_string(id) + " has " +
+                             std::to_string(e.pins) +
+                             " pins but no resident payload");
+      }
+      if (e.state == State::kResident) resident += e.bytes;
+    }
+    if (resident != resident_bytes_) {
+      invariants::fail("shard_store.resident_bytes_accounting", site,
+                       "resident_bytes_=" + std::to_string(resident_bytes_) +
+                           " but payload sum=" + std::to_string(resident));
+    }
   }
 
   static std::filesystem::path unique_scratch_dir(
@@ -896,6 +960,10 @@ class ShardedMatrix {
   static std::shared_ptr<Slot> make_slot(CsrMatrix<IT, VT>&& data) {
     auto slot = std::make_shared<Slot>();
     slot->data = std::move(data);
+    // Every shard payload enters through here (split, refresh_rows,
+    // from_generator) — the boundary where a malformed row block would
+    // poison the tiled driver's stitch.
+    MSP_CHECK_CSR(slot->data, "ShardedMatrix::make_slot");
     slot->resident.store(true, std::memory_order_relaxed);
     slot->fp = pattern_fingerprint(slot->data, false);
     slot->bytes = payload_bytes(slot->data);

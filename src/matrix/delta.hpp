@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/delta_overlay.hpp"
+#include "core/invariants.hpp"
 #include "matrix/csr.hpp"
 #include "util/common.hpp"
 
@@ -206,6 +207,7 @@ class DeltaMatrix {
       compact_locked();
       res.compacted = true;
     }
+    MSP_CHECK_DELTA(*this, "DeltaMatrix::apply_updates");
     return res;
   }
 
@@ -214,9 +216,61 @@ class DeltaMatrix {
   void compact() {
     std::lock_guard<std::mutex> lock(mutex_);
     compact_locked();
+    MSP_CHECK_DELTA(*this, "DeltaMatrix::compact");
+  }
+
+  /// Checked-build validator. Deep-checks both CSRs and the overlay, then
+  /// verifies the three views actually agree: every overlay-stored row and
+  /// an equal-sized sample of base rows must read identically through
+  /// `merged_row_*` and through the materialized `matrix()`. Takes no lock
+  /// — called by the single updating thread per the threading contract
+  /// above (and by tests on quiescent instances).
+  void check_invariants(const char* site) const {
+    invariants::check_csr(base_, site);
+    invariants::check_csr(current_, site);
+    if (base_.nrows != current_.nrows || base_.ncols != current_.ncols) {
+      invariants::fail("delta.base_shape", site,
+                       "base " + std::to_string(base_.nrows) + "x" +
+                           std::to_string(base_.ncols) + " vs current " +
+                           std::to_string(current_.nrows) + "x" +
+                           std::to_string(current_.ncols));
+    }
+    invariants::check_overlay(overlay_, current_.nrows, current_.ncols, site);
+    // Sampled merged-view agreement: all overlay rows (the rows that could
+    // diverge) plus up to as many interleaved base rows (control group),
+    // capped so a checked fuzz run stays O(sample · row) per boundary.
+    constexpr std::size_t kMaxSampledRows = 64;
+    const std::size_t stored = overlay_.stored_rows();
+    for (std::size_t r = 0; r < std::min(stored, kMaxSampledRows); ++r) {
+      check_merged_row(overlay_.stored_rowid(r), site);
+    }
+    if (current_.nrows > 0) {
+      const std::size_t n = static_cast<std::size_t>(current_.nrows);
+      const std::size_t samples = std::min(n, kMaxSampledRows);
+      for (std::size_t s = 0; s < samples; ++s) {
+        check_merged_row(static_cast<IT>(s * n / samples), site);
+      }
+    }
   }
 
  private:
+  /// One row's merged view (overlay-or-base) vs the materialized CSR.
+  void check_merged_row(IT i, const char* site) const {
+    const auto mc = merged_row_cols(i);
+    const auto mv = merged_row_vals(i);
+    const auto cc = current_.row_cols(i);
+    const auto cv = current_.row_vals(i);
+    const bool cols_ok = std::equal(mc.begin(), mc.end(), cc.begin(), cc.end());
+    const bool vals_ok = std::equal(mv.begin(), mv.end(), cv.begin(), cv.end());
+    if (!cols_ok || !vals_ok) {
+      invariants::fail("delta.merged_row_agreement", site,
+                       "row " + std::to_string(i) +
+                           (cols_ok ? " values" : " columns") +
+                           " diverge between overlay view and materialized "
+                           "matrix");
+    }
+  }
+
   void compact_locked() {
     base_ = current_;
     overlay_.clear();
