@@ -1,0 +1,124 @@
+// Distributed-service throughput: the mspgemm-serve Coordinator driving K
+// forked worker processes through batched multi-mask queries, vs the
+// single-process TiledEngine oracle over the same row ranges.
+//
+// One row per worker count: wall seconds for the steady-state query loop
+// (placement excluded — it is paid once per service lifetime), masked
+// products per second, and the bit-identity flag against the oracle. The
+// oracle row (workers=0) prices the same loop in-process, so the table
+// exposes the protocol + stitch overhead directly.
+//
+// Env knobs (CI-smoke defaults): MSP_SCALE (12), MSP_BATCH (4),
+// MSP_QUERIES (3), MSP_SERVE_WORKERS ("1 2"), MSP_REPS.
+//
+// Output is parsed by scripts/bench_baseline.sh into the baseline's
+// `serve_throughput` key.
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/tricount.hpp"
+#include "core/tiled_engine.hpp"
+#include "gen/rng.hpp"
+#include "harness.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+using namespace msp;
+using namespace msp::bench;
+
+Graph row_sample(const Graph& m, double keep, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<IT> rowptr(static_cast<std::size_t>(m.nrows) + 1, 0);
+  std::vector<IT> colids;
+  std::vector<VT> values;
+  for (IT i = 0; i < m.nrows; ++i) {
+    rowptr[static_cast<std::size_t>(i)] = static_cast<IT>(colids.size());
+    if (rng.next_double() < keep) {
+      for (IT p = m.rowptr[i]; p < m.rowptr[i + 1]; ++p) {
+        colids.push_back(m.colids[p]);
+        values.push_back(m.values[p]);
+      }
+    }
+  }
+  rowptr[static_cast<std::size_t>(m.nrows)] = static_cast<IT>(colids.size());
+  return Graph(m.nrows, m.ncols, std::move(rowptr), std::move(colids),
+               std::move(values));
+}
+
+}  // namespace
+
+int main() {
+  const int scale = static_cast<int>(env_long("MSP_SCALE", 12));
+  const int batch = static_cast<int>(env_long("MSP_BATCH", 4));
+  const int queries = static_cast<int>(env_long("MSP_QUERIES", 3));
+  std::string worker_counts = "1 2";
+  if (const char* e = std::getenv("MSP_SERVE_WORKERS")) worker_counts = e;
+
+  const Graph g = rmat_graph<IT, VT>(scale, 8.0);
+  const auto input = tricount_prepare(g);
+  const Graph& l = input.l;
+
+  std::vector<Graph> masks;
+  std::vector<const Graph*> mask_ptrs;
+  for (int j = 0; j < batch; ++j) {
+    masks.push_back(row_sample(l, 0.35, 42 + static_cast<std::uint64_t>(j)));
+  }
+  for (const Graph& m : masks) mask_ptrs.push_back(&m);
+
+  serve::QueryConfig qcfg;  // kMsa2P / PlusTimes / structural mask
+
+  std::printf("# serve throughput: rmat scale %d, L %dx%d nnz %zu, %d "
+              "masks x %d queries; oracle_s is the in-process TiledEngine "
+              "over the same ranges\n",
+              scale, l.nrows, l.ncols, l.nnz(), batch, queries);
+  std::printf("workers batch queries seconds qps oracle_s identical\n");
+
+  std::istringstream counts(worker_counts);
+  int workers = 0;
+  while (counts >> workers) {
+    const std::vector<IT> ranges =
+        ShardedMatrix<IT, VT>::balanced_ranges(l, workers);
+
+    // Oracle pass: same ranges, same kernels, no processes. Reused both as
+    // the identity reference and as the workers=0 comparison row.
+    TiledEngine oracle;
+    const ShardedMatrix<IT, VT> lsh(l, ranges, nullptr);
+    std::vector<Graph> want;
+    const double oracle_s = time_best([&] {
+      want.clear();
+      for (const Graph& m : masks) {
+        want.push_back(oracle.multiply<PlusTimes<VT>>(Scheme::kMsa2P, lsh,
+                                                      l, m));
+      }
+    }, 1) * queries;
+
+    serve::Coordinator::Options opt;
+    opt.workers = workers;
+    opt.worker_cmd = MSP_SERVE_BIN;
+    serve::Coordinator coord(opt);
+    coord.place(l, l, ranges);
+    (void)coord.query(mask_ptrs, qcfg);  // warm-up: plan caches, binding
+
+    bool identical = true;
+    Timer t;
+    std::vector<Graph> got;
+    for (int q = 0; q < queries; ++q) got = coord.query(mask_ptrs, qcfg);
+    const double secs = t.seconds();
+    for (int j = 0; j < batch; ++j) {
+      if (!(got[static_cast<std::size_t>(j)] ==
+            want[static_cast<std::size_t>(j)])) {
+        identical = false;
+      }
+    }
+    if (!coord.shutdown()) identical = false;
+
+    std::printf("%d %d %d %.6f %.2f %.6f %d\n", workers, batch, queries,
+                secs, queries * batch / (secs > 0 ? secs : 1e-9), oracle_s,
+                identical ? 1 : 0);
+    if (!identical) return 1;
+  }
+  return 0;
+}

@@ -29,6 +29,9 @@
 #                                   scheme_auto entry's profile
 #   MSP_TUNE_FULL                   1 = full calibration grid instead of
 #                                   the quick CI-smoke grid
+#   MSP_SERVE_SCALE                 serve_throughput R-MAT scale (def. 12)
+#   MSP_SERVE_WORKERS               serve_throughput worker counts
+#                                   (default "1 2")
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -47,6 +50,8 @@ MSP_AUTO_SCALE=${MSP_AUTO_SCALE:-12}
 MSP_DYNAMIC_SCALE=${MSP_DYNAMIC_SCALE:-12}
 MSP_TUNE_OUT=${MSP_TUNE_OUT:-TUNE_profile.json}
 MSP_TUNE_FULL=${MSP_TUNE_FULL:-0}
+MSP_SERVE_SCALE=${MSP_SERVE_SCALE:-12}
+MSP_SERVE_WORKERS=${MSP_SERVE_WORKERS:-"1 2"}
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Release \
@@ -55,7 +60,8 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j --target bench_fig10_tricount_scale \
   --target bench_multimask_batch --target bench_engine_reuse \
   --target bench_sharded_spgemm --target bench_tuner_calibrate \
-  --target bench_scheme_auto --target bench_dynamic_updates >/dev/null
+  --target bench_scheme_auto --target bench_dynamic_updates \
+  --target bench_serve_throughput >/dev/null
 # Best-effort: the micro benchmark target only exists when Google Benchmark
 # is installed; the baseline degrades gracefully without it.
 cmake --build "$BUILD_DIR" -j --target bench_micro_accumulators \
@@ -67,8 +73,9 @@ ENGINE_TXT=$(mktemp)
 SHARDED_TXT=$(mktemp)
 AUTO_TXT=$(mktemp)
 DYNAMIC_TXT=$(mktemp)
+SERVE_TXT=$(mktemp)
 SWEEP_TMP=$(mktemp -d)
-trap 'rm -f "$FIG10_TXT" "$MULTIMASK_TXT" "$ENGINE_TXT" "$SHARDED_TXT" "$AUTO_TXT" "$DYNAMIC_TXT"; rm -rf "$SWEEP_TMP"' EXIT
+trap 'rm -f "$FIG10_TXT" "$MULTIMASK_TXT" "$ENGINE_TXT" "$SHARDED_TXT" "$AUTO_TXT" "$DYNAMIC_TXT" "$SERVE_TXT"; rm -rf "$SWEEP_TMP"' EXIT
 
 # Calibrate the kAuto tuning profile first (quick grid unless
 # MSP_TUNE_FULL=1): the scheme_auto comparison below loads it through
@@ -98,6 +105,9 @@ MSP_SCALE=$MSP_AUTO_SCALE MSP_MULTIMASK_SCALE=$MSP_MULTIMASK_SCALE \
 echo "running bench_dynamic_updates (scale $MSP_DYNAMIC_SCALE, $MSP_REPS reps)" >&2
 MSP_DYNAMIC_SCALE=$MSP_DYNAMIC_SCALE \
   "$BUILD_DIR/bench/bench_dynamic_updates" > "$DYNAMIC_TXT"
+echo "running bench_serve_throughput (scale $MSP_SERVE_SCALE, workers $MSP_SERVE_WORKERS)" >&2
+MSP_SCALE=$MSP_SERVE_SCALE MSP_SERVE_WORKERS="$MSP_SERVE_WORKERS" \
+  "$BUILD_DIR/bench/bench_serve_throughput" > "$SERVE_TXT"
 # Optional thread-count sweep: one fig10 run per requested thread count.
 for t in $MSP_BENCH_THREADS; do
   echo "running bench_fig10_tricount_scale with $t threads" >&2
@@ -241,6 +251,21 @@ multimask_json() {
   ' "$MULTIMASK_TXT"
 }
 
+# Turn the serve_throughput table (one row per worker count: seconds,
+# masked products per second, the in-process oracle's seconds for the same
+# loop, bit-identical flag) into a JSON array.
+serve_json() {
+  awk '
+    /^#/ { next }
+    $1 == "workers" { next }
+    {
+      printf "%s{\"workers\": %s, \"batch\": %s, \"queries\": %s, \"seconds\": %s, \"qps\": %s, \"oracle_s\": %s, \"identical\": %s}", \
+        sep, $1, $2, $3, $4, $5, $6, ($7 == 1 ? "true" : "false")
+      sep = ",\n      "
+    }
+  ' "$SERVE_TXT"
+}
+
 # The micro benchmark is never skipped silently: every path that cannot
 # produce data records an explicit "micro_accumulators": null in the JSON
 # and prints a greppable WARNING to stderr (CI checks for it).
@@ -297,6 +322,10 @@ DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
   printf '  "dynamic_updates": {"scale": %s, "results": [\n      ' \
     "$MSP_DYNAMIC_SCALE"
   dynamic_json
+  printf '\n  ]},\n'
+  printf '  "serve_throughput": {"scale": %s, "results": [\n      ' \
+    "$MSP_SERVE_SCALE"
+  serve_json
   printf '\n  ]},\n'
   printf '  "thread_sweep": '
   thread_sweep_json

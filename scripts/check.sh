@@ -3,13 +3,13 @@
 #
 # `check.sh --sanitize` instead configures an ASan+UBSan build (mirroring
 # the CI sanitizer job) and runs the conformance sweep plus the randomized
-# differential trials (sharded + streaming-update):
-# `ctest -L 'conformance|fuzz|dynamic'`.
+# differential trials (sharded + streaming-update) and the distributed
+# service suite: `ctest -L 'conformance|fuzz|dynamic|serve'`.
 #
 # `check.sh --tsan` configures a ThreadSanitizer build (mirroring the CI
 # tsan job) and runs the concurrency-sensitive suites — the randomized
-# sharded/async/streaming-update trials plus the storage-backend tests:
-# `ctest -L 'fuzz|storage|dynamic'`.
+# sharded/async/streaming-update trials plus the storage-backend tests and
+# the distributed service suite: `ctest -L 'fuzz|storage|dynamic|serve'`.
 #
 # `check.sh --dynamic` runs just the streaming-update suite (the delta
 # layer's differential fuzzer and incremental-invalidation tests,
@@ -22,6 +22,11 @@
 # conformance/fuzz/dynamic suites and the seeded-corruption tests —
 # mirroring the CI `checked` job.
 #
+# `check.sh --serve` runs the distributed service suite in the tier-1
+# build (`ctest -L serve`), then a 2-worker mspgemm-serve smoke run whose
+# output must assert bit-identity against the oracle and a clean shutdown
+# — the quick loop while working on src/serve/.
+#
 # `check.sh --lint` runs the static lint gate (scripts/lint.sh: house
 # rules + clang-tidy-with-baseline when installed) — mirroring the CI
 # `lint` job, minus its hard clang-tidy requirement.
@@ -33,12 +38,12 @@ if [ "${1:-}" = "--sanitize" ]; then
   cmake --build build-asan -j
   # -L before the bare -j: a bare -j greedily consumes the next token as
   # its job count on some ctest versions, silently dropping the filter.
-  cd build-asan && ctest --output-on-failure -L 'conformance|fuzz|dynamic' -j
+  cd build-asan && ctest --output-on-failure -L 'conformance|fuzz|dynamic|serve' -j
 elif [ "${1:-}" = "--tsan" ]; then
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMSPGEMM_TSAN=ON
   cmake --build build-tsan -j
-  cd build-tsan && ctest --output-on-failure -L 'fuzz|storage|dynamic' -j
+  cd build-tsan && ctest --output-on-failure -L 'fuzz|storage|dynamic|serve' -j
 elif [ "${1:-}" = "--dynamic" ]; then
   cmake -B build -S . && cmake --build build -j
   cd build && ctest --output-on-failure -L dynamic -j
@@ -47,6 +52,13 @@ elif [ "${1:-}" = "--checked" ]; then
   cmake --build build-checked -j
   cd build-checked && \
     ctest --output-on-failure -L 'conformance|fuzz|dynamic|checked' -j
+elif [ "${1:-}" = "--serve" ]; then
+  cmake -B build -S . && cmake --build build -j
+  cd build && ctest --output-on-failure -L serve -j
+  echo "== mspgemm-serve smoke (2 workers) =="
+  ./mspgemm-serve --workers 2 --scale 12 --batch 4 --queries 3 | tee serve_smoke.txt
+  grep -q "all queries bit-identical to oracle: yes" serve_smoke.txt
+  grep -q "clean shutdown: yes" serve_smoke.txt
 elif [ "${1:-}" = "--lint" ]; then
   exec sh scripts/lint.sh
 else

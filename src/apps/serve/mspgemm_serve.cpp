@@ -1,0 +1,279 @@
+// mspgemm-serve — the distributed service driver over the storage seam.
+//
+// Coordinator mode (default):
+//
+//   mspgemm-serve [--workers K] [--scale S] [--edge-factor F] [--batch B]
+//                 [--queries Q] [--scheme NAME] [--fault-reads N]
+//                 [--seed X]
+//
+// builds the triangle-counting operand L from an R-MAT graph
+// (tricount_prepare), places contiguous row-block shards of L and the
+// whole of B (= L) on K fork/exec'd worker processes, then drives Q
+// batched multi-mask queries of B masks each through the coordinator.
+// Every distributed answer is checked bit-identical against the
+// single-process TiledEngine oracle over the same row ranges, per-worker
+// service stats are printed, and the process exits 0 only when every
+// query matched AND shutdown was clean (all workers reaped with status 0,
+// socket directory removed) — the contract the CI smoke job asserts by
+// grepping this output.
+//
+// Worker mode (spawned by the coordinator, not for direct use):
+//
+//   mspgemm-serve --worker --socket PATH --id K --shard-dir DIR
+//                 [--retry-max-attempts N] [--retry-initial-ms X]
+//                 [--retry-multiplier X] [--retry-max-ms X]
+//                 [--retry-jitter X] [--fault-reads N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "apps/tricount.hpp"
+#include "core/tiled_engine.hpp"
+#include "gen/rmat.hpp"
+#include "gen/rng.hpp"
+#include "matrix/ops.hpp"
+#include "mspgemm.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+using msp::CsrMatrix;
+using msp::Scheme;
+using msp::serve::ServeCsr;
+using msp::serve::ServeIndex;
+using msp::serve::ServeValue;
+
+/// Keep each row of `m` with probability `keep` (whole-row sampling) — a
+/// cheap model of per-user query masks: every user cares about their own
+/// subset of the rows.
+ServeCsr row_sample(const ServeCsr& m, double keep, std::uint64_t seed) {
+  msp::Xoshiro256 rng(seed);
+  std::vector<ServeIndex> rowptr(static_cast<std::size_t>(m.nrows) + 1, 0);
+  std::vector<ServeIndex> colids;
+  std::vector<ServeValue> values;
+  for (ServeIndex i = 0; i < m.nrows; ++i) {
+    rowptr[static_cast<std::size_t>(i)] =
+        static_cast<ServeIndex>(colids.size());
+    if (rng.next_double() < keep) {
+      for (ServeIndex p = m.rowptr[i]; p < m.rowptr[i + 1]; ++p) {
+        colids.push_back(m.colids[p]);
+        values.push_back(m.values[p]);
+      }
+    }
+  }
+  rowptr[static_cast<std::size_t>(m.nrows)] =
+      static_cast<ServeIndex>(colids.size());
+  return ServeCsr(m.nrows, m.ncols, std::move(rowptr), std::move(colids),
+                  std::move(values));
+}
+
+std::string self_path(const char* argv0) {
+  std::error_code ec;
+  const std::filesystem::path exe =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) return exe.string();
+  return argv0;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workers K] [--scale S] [--edge-factor F] "
+               "[--batch B] [--queries Q] [--scheme NAME] "
+               "[--fault-reads N] [--seed X]\n",
+               argv0);
+  return 2;
+}
+
+int worker_mode(int argc, char** argv) {
+  msp::serve::WorkerConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mspgemm-serve: %s needs a value\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--worker") continue;
+    if (arg == "--socket") cfg.socket_path = next();
+    else if (arg == "--id") cfg.worker_id = std::atoi(next());
+    else if (arg == "--shard-dir") cfg.shard_dir = next();
+    else if (arg == "--retry-max-attempts") cfg.retry.max_attempts = std::atoi(next());
+    else if (arg == "--retry-initial-ms") cfg.retry.initial_backoff_ms = std::atof(next());
+    else if (arg == "--retry-multiplier") cfg.retry.multiplier = std::atof(next());
+    else if (arg == "--retry-max-ms") cfg.retry.max_backoff_ms = std::atof(next());
+    else if (arg == "--retry-jitter") cfg.retry.jitter = std::atof(next());
+    else if (arg == "--fault-reads") cfg.fault_reads = std::atoi(next());
+    else {
+      std::fprintf(stderr, "mspgemm-serve: unknown worker flag %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  // De-correlate jitter across the fleet.
+  cfg.retry.seed += static_cast<std::uint64_t>(cfg.worker_id) * 0x9e37u;
+  try {
+    return msp::serve::worker_main(cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mspgemm-serve worker %d: %s\n", cfg.worker_id,
+                 e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--worker") == 0) return worker_mode(argc, argv);
+  }
+
+  int workers = 2;
+  int scale = 12;
+  double edge_factor = 8.0;
+  int batch = 4;
+  int queries = 3;
+  int fault_reads = 0;
+  std::uint64_t seed = 42;
+  Scheme scheme = Scheme::kMsa2P;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--workers") workers = std::atoi(next());
+    else if (arg == "--scale") scale = std::atoi(next());
+    else if (arg == "--edge-factor") edge_factor = std::atof(next());
+    else if (arg == "--batch") batch = std::atoi(next());
+    else if (arg == "--queries") queries = std::atoi(next());
+    else if (arg == "--fault-reads") fault_reads = std::atoi(next());
+    else if (arg == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--scheme") {
+      if (!msp::scheme_from_name(next(), scheme)) {
+        std::fprintf(stderr, "mspgemm-serve: unknown scheme\n");
+        return 2;
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  using namespace msp;
+
+  // The operand: the triangle-counting L from an R-MAT graph — the
+  // corpus-shaped workload every other driver in this repo uses.
+  const auto g = rmat_graph<ServeIndex, ServeValue>(scale, edge_factor);
+  const auto input = tricount_prepare(g);
+  const ServeCsr& l = input.l;
+  std::printf("mspgemm-serve: workers=%d scale=%d L=%dx%d nnz=%zu "
+              "scheme=%s\n",
+              workers, scale, l.nrows, l.ncols, l.nnz(),
+              std::string(scheme_name(scheme)).c_str());
+
+  // The query stream: `batch` per-user masks (whole-row samples of L).
+  std::vector<ServeCsr> masks;
+  std::vector<const ServeCsr*> mask_ptrs;
+  for (int j = 0; j < batch; ++j) {
+    masks.push_back(row_sample(l, 0.35, seed + static_cast<std::uint64_t>(j)));
+  }
+  for (const ServeCsr& m : masks) mask_ptrs.push_back(&m);
+
+  serve::QueryConfig qcfg;
+  qcfg.scheme = scheme;
+  qcfg.semiring = SemiringId::kPlusTimes;
+
+  int exit_code = 0;
+  bool clean = false;
+  try {
+    serve::Coordinator::Options copt;
+    copt.workers = workers;
+    copt.worker_cmd = self_path(argv[0]);
+    copt.fault_reads = fault_reads;
+    if (fault_reads > 0) {
+      // Make the injected faults cheap to absorb: near-zero backoff.
+      copt.retry.initial_backoff_ms = 0.01;
+      copt.retry.max_attempts = fault_reads + 2;
+    }
+    serve::Coordinator coord(copt);
+    const std::vector<ServeIndex> ranges =
+        ShardedMatrix<ServeIndex, ServeValue>::balanced_ranges(l, workers);
+    coord.place(l, l, ranges);
+
+    // The single-process oracle over the same row ranges.
+    TiledEngine oracle;
+    const ShardedMatrix<ServeIndex, ServeValue> lsh(l, ranges, nullptr);
+
+    bool all_identical = true;
+    Timer timer;
+    for (int q = 0; q < queries; ++q) {
+      const std::vector<ServeCsr> got = coord.query(mask_ptrs, qcfg);
+      for (int j = 0; j < batch; ++j) {
+        const ServeCsr want = oracle.multiply<PlusTimes<ServeValue>>(
+            scheme, lsh, l, masks[static_cast<std::size_t>(j)]);
+        if (!(got[static_cast<std::size_t>(j)] == want)) {
+          all_identical = false;
+        }
+      }
+      std::printf("query %d: %d masks, identical=%d\n", q + 1, batch,
+                  all_identical ? 1 : 0);
+    }
+    const double secs = timer.seconds();
+
+    std::uint64_t total_retries = 0;
+    for (int k = 0; k < workers; ++k) {
+      const serve::WorkerStats ws = coord.worker_stats(k);
+      total_retries += ws.storage_retries;
+      std::printf("worker %d: rows [%llu, %llu), queries=%llu masks=%llu "
+                  "shards_resident=%llu bytes_loaded=%llu retries=%llu "
+                  "giveups=%llu backoff_us=%llu plan_hits=%llu "
+                  "plan_misses=%llu\n",
+                  k, static_cast<unsigned long long>(ws.row_begin),
+                  static_cast<unsigned long long>(ws.row_end),
+                  static_cast<unsigned long long>(ws.queries),
+                  static_cast<unsigned long long>(ws.masks),
+                  static_cast<unsigned long long>(ws.shards_resident),
+                  static_cast<unsigned long long>(ws.bytes_loaded),
+                  static_cast<unsigned long long>(ws.storage_retries),
+                  static_cast<unsigned long long>(ws.storage_giveups),
+                  static_cast<unsigned long long>(ws.backoff_micros),
+                  static_cast<unsigned long long>(ws.plan_hits),
+                  static_cast<unsigned long long>(ws.plan_misses));
+    }
+    const serve::Coordinator::Stats& cs = coord.stats();
+    std::printf("coordinator: queries=%zu masks_routed=%zu stitches=%zu "
+                "restarts=%zu storage_retries=%llu\n",
+                cs.queries, cs.masks_routed, cs.stitches,
+                cs.worker_restarts,
+                static_cast<unsigned long long>(total_retries));
+    std::printf("throughput: %.2f masked products/s (%d queries x %d "
+                "masks in %.3f s)\n",
+                queries * batch / (secs > 0 ? secs : 1e-9), queries, batch,
+                secs);
+    std::printf("all queries bit-identical to oracle: %s\n",
+                all_identical ? "yes" : "NO");
+    if (fault_reads > 0 && total_retries == 0) {
+      std::printf("ERROR: fault injection armed but no retries observed\n");
+      exit_code = 1;
+    }
+    if (!all_identical) exit_code = 1;
+
+    const std::filesystem::path sock_dir = coord.socket_dir();
+    clean = coord.shutdown();
+    if (std::filesystem::exists(sock_dir)) clean = false;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mspgemm-serve: %s\n", e.what());
+    return 1;
+  }
+  std::printf("clean shutdown: %s\n", clean ? "yes" : "NO");
+  if (!clean) exit_code = 1;
+  return exit_code;
+}

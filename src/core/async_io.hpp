@@ -88,7 +88,8 @@ class AsyncOpGroup {
     std::lock_guard<std::mutex> lk(mu_);
     return failed_;
   }
-  /// Message of the first operation that threw ("" while none has).
+  /// Message of the first operation that threw ("" while none has — use
+  /// failed() to distinguish a first failure whose what() was empty).
   [[nodiscard]] std::string first_error() const {
     std::lock_guard<std::mutex> lk(mu_);
     return first_error_;
@@ -126,7 +127,13 @@ class AsyncOpGroup {
       ++completed_;
       if (!ok) {
         ++failed_;
-        if (first_error_.empty()) first_error_ = error;
+        // A dedicated flag, not first_error_.empty(): an exception whose
+        // what() is empty is still the *first* error, and the empty-string
+        // sentinel would let a later failure's message overwrite it.
+        if (!has_error_) {
+          has_error_ = true;
+          first_error_ = error;
+        }
       }
       if (queue_.empty() && in_flight_ == 0) done_cv_.notify_all();
     }
@@ -142,6 +149,7 @@ class AsyncOpGroup {
   std::size_t failed_ = 0;
   std::size_t in_flight_ = 0;
   std::string first_error_;
+  bool has_error_ = false;
   bool stopping_ = false;
 };
 

@@ -32,12 +32,18 @@
 // with shared mutable state (connection pools, caches) must lock it.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <istream>
 #include <memory>
+#include <mutex>
+#include <random>
 #include <string>
 #include <thread>
 #include <utility>
@@ -56,6 +62,23 @@
 #endif
 
 namespace msp {
+
+namespace detail {
+
+/// Size of a stream opened with `std::ios::ate`, validated. `tellg()`
+/// reports failure as pos_type(-1); unchecked, that -1 cast to
+/// `std::size_t` becomes a ~2^64-element allocation and the caller dies
+/// with `bad_alloc` instead of the backend contract's typed `io_error`.
+inline std::size_t stream_size_or_throw(std::istream& in,
+                                        const std::string& what) {
+  const std::streamoff size = static_cast<std::streamoff>(in.tellg());
+  if (!in || size < 0) {
+    throw io_error("storage: cannot determine stream size: " + what);
+  }
+  return static_cast<std::size_t>(size);
+}
+
+}  // namespace detail
 
 /// The result of `StorageBackend::read`: a contiguous byte view whose
 /// backing storage is either an owned heap buffer (streamed reads) or an
@@ -230,10 +253,11 @@ class LocalDirBackend : public StorageBackend {
     if (!in) {
       throw io_error(name() + ": cannot open for reading: " + path.string());
     }
-    const std::streamsize size = in.tellg();
+    const std::size_t size = detail::stream_size_or_throw(in, path.string());
     in.seekg(0);
-    std::vector<std::byte> bytes(static_cast<std::size_t>(size));
-    in.read(reinterpret_cast<char*>(bytes.data()), size);
+    std::vector<std::byte> bytes(size);
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(size));
     if (!in && size > 0) {
       throw io_error(name() + ": truncated read: " + path.string());
     }
@@ -358,6 +382,145 @@ class ThrottledBackend : public StorageBackend {
 
   std::shared_ptr<StorageBackend> inner_;
   double bps_;
+};
+
+/// Decorator that retries transient `io_error` failures of an inner
+/// backend with exponential backoff + jitter under a bounded retry budget
+/// — the policy layer that lets several worker processes share one durable
+/// shard directory (the mspgemm-serve placement contract) over storage
+/// that occasionally hiccups. Semantics:
+///
+///  * `read` and `write` are retried: an `io_error` from the inner backend
+///    is treated as transient until `max_attempts` total tries have been
+///    spent, then rethrown as a typed `io_error` naming the op, the id and
+///    the attempt count (the budget-exhausted signal callers test for);
+///  * every re-attempt waits `initial_backoff_ms * multiplier^k`, capped
+///    at `max_backoff_ms`, with symmetric multiplicative jitter of up to
+///    `jitter` (so a fleet of workers hammering one recovering store
+///    de-synchronizes instead of stampeding);
+///  * non-I/O exceptions (`invalid_argument_error`, ...) are *not*
+///    retried — they signal caller bugs, not storage weather;
+///  * `remove` and `exists` pass through untouched: remove already
+///    tolerates missing ids and exists is a non-throwing probe.
+///
+/// Accounting lands in atomic `Stats` (re-attempts, exhausted budgets,
+/// accumulated backoff) readable concurrently. Thread-safe like the
+/// backends it wraps; the jitter RNG is mutex-guarded.
+class RetryBackend : public StorageBackend {
+ public:
+  struct Options {
+    /// Total tries per operation (first attempt included); must be >= 1.
+    int max_attempts = 4;
+    /// Delay before the first re-attempt, in milliseconds.
+    double initial_backoff_ms = 1.0;
+    /// Growth factor applied to the delay after each re-attempt (>= 1).
+    double multiplier = 2.0;
+    /// Upper bound on any single delay, in milliseconds.
+    double max_backoff_ms = 100.0;
+    /// Jitter fraction in [0, 1]: each delay is scaled by a uniform
+    /// factor from [1 - jitter, 1 + jitter].
+    double jitter = 0.5;
+    /// Seed for the jitter RNG (deterministic tests pin it).
+    std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  };
+
+  /// Atomic accounting, readable without synchronization.
+  struct Stats {
+    /// Re-attempts performed (a first attempt that succeeds counts 0).
+    std::atomic<std::size_t> retries{0};
+    /// Operations that exhausted the budget and rethrew.
+    std::atomic<std::size_t> giveups{0};
+    /// Total backoff slept, in microseconds.
+    std::atomic<std::uint64_t> backoff_micros{0};
+  };
+
+  // Two overloads, not `Options opt = {}`: a default argument cannot use
+  // the nested aggregate's default member initializers inside the
+  // enclosing class body.
+  explicit RetryBackend(std::shared_ptr<StorageBackend> inner)
+      : RetryBackend(std::move(inner), Options()) {}
+
+  RetryBackend(std::shared_ptr<StorageBackend> inner, Options opt)
+      : inner_(std::move(inner)), opt_(opt), rng_(opt.seed) {
+    if (opt_.max_attempts < 1) {
+      throw invalid_argument_error("RetryBackend: max_attempts must be >= 1");
+    }
+    if (!(opt_.multiplier >= 1.0)) {
+      throw invalid_argument_error("RetryBackend: multiplier must be >= 1");
+    }
+    if (!(opt_.jitter >= 0.0) || opt_.jitter > 1.0) {
+      throw invalid_argument_error("RetryBackend: jitter must be in [0, 1]");
+    }
+    if (!(opt_.initial_backoff_ms >= 0.0) || !(opt_.max_backoff_ms >= 0.0)) {
+      throw invalid_argument_error(
+          "RetryBackend: backoff delays must be non-negative");
+    }
+  }
+
+  void write(const std::string& id, const void* data,
+             std::size_t size) override {
+    with_retries("write", id, [&] { inner_->write(id, data, size); });
+  }
+
+  ReadBuffer read(const std::string& id) override {
+    ReadBuffer out;
+    with_retries("read", id, [&] { out = inner_->read(id); });
+    return out;
+  }
+
+  void remove(const std::string& id) override { inner_->remove(id); }
+
+  bool exists(const std::string& id) override { return inner_->exists(id); }
+
+  [[nodiscard]] std::string name() const override {
+    return "retry(" + inner_->name() + ")";
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Options& options() const { return opt_; }
+
+ private:
+  template <class F>
+  void with_retries(const char* op, const std::string& id, F&& f) {
+    double delay_ms = opt_.initial_backoff_ms;
+    for (int attempt = 1;; ++attempt) {
+      try {
+        f();
+        return;
+      } catch (const io_error& e) {
+        if (attempt >= opt_.max_attempts) {
+          stats_.giveups.fetch_add(1, std::memory_order_relaxed);
+          throw io_error(name() + ": " + op + " '" + id +
+                         "' failed after " + std::to_string(attempt) +
+                         " attempt(s): " + e.what());
+        }
+        const double slept_ms = jittered(delay_ms);
+        stats_.retries.fetch_add(1, std::memory_order_relaxed);
+        stats_.backoff_micros.fetch_add(
+            static_cast<std::uint64_t>(slept_ms * 1000.0),
+            std::memory_order_relaxed);
+        if (slept_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(slept_ms));
+        }
+        delay_ms = std::min(delay_ms * opt_.multiplier, opt_.max_backoff_ms);
+      }
+    }
+  }
+
+  [[nodiscard]] double jittered(double delay_ms) {
+    if (opt_.jitter == 0.0 || delay_ms == 0.0) return delay_ms;
+    std::uniform_real_distribution<double> dist(1.0 - opt_.jitter,
+                                                1.0 + opt_.jitter);
+    std::lock_guard<std::mutex> lk(rng_mu_);
+    return delay_ms * dist(rng_);
+  }
+
+  std::shared_ptr<StorageBackend> inner_;
+  Options opt_;
+  Stats stats_;
+  std::mutex rng_mu_;
+  std::mt19937_64 rng_;
 };
 
 }  // namespace msp

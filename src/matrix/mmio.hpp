@@ -5,9 +5,11 @@
 
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <type_traits>
 
 #include "matrix/convert.hpp"
 #include "matrix/coo.hpp"
@@ -54,12 +56,17 @@ CooMatrix<IT, VT> read_matrix_market(std::istream& in) {
     throw io_error("mmio: unsupported symmetry '" + symmetry + "'");
   }
 
-  // Skip comment lines, then read the size line.
+  // Skip comment and blank lines, then read the size line. Only genuinely
+  // blank lines are tolerated: the first non-comment line with content
+  // MUST parse as `rows cols nnz`, anything else is a malformed header —
+  // swallowing it silently would let a garbage line shift the whole
+  // parse by one line and misread the entry section.
   long long rows = -1, cols = -1, nnz = -1;
   while (std::getline(in, line)) {
     if (!line.empty() && line[0] == '%') continue;
+    if (line.find_first_not_of(" \t\r\n\v\f") == std::string::npos) continue;
     std::istringstream sz(line);
-    if (!(sz >> rows >> cols >> nnz)) continue;  // tolerate blank lines
+    if (!(sz >> rows >> cols >> nnz)) throw io_error("mmio: bad size line");
     break;
   }
   if (rows < 0 || cols < 0 || nnz < 0) throw io_error("mmio: bad size line");
@@ -101,15 +108,25 @@ CsrMatrix<IT, VT> read_matrix_market_csr(const std::string& path) {
 }
 
 /// Write a CSR matrix as a general real coordinate Matrix Market stream.
+/// Values are streamed at `max_digits10` precision so a write→read round
+/// trip is bit-identical for floating-point value types (the stream's
+/// default 6 significant digits would silently break any differential
+/// check routed through an MM file). The caller's stream precision is
+/// restored on return.
 template <class IT, class VT>
 void write_matrix_market(std::ostream& out, const CsrMatrix<IT, VT>& a) {
   out << "%%MatrixMarket matrix coordinate real general\n";
   out << a.nrows << ' ' << a.ncols << ' ' << a.nnz() << '\n';
+  std::streamsize old_precision = out.precision();
+  if constexpr (std::is_floating_point_v<VT>) {
+    old_precision = out.precision(std::numeric_limits<VT>::max_digits10);
+  }
   for (IT i = 0; i < a.nrows; ++i) {
     for (IT p = a.rowptr[i]; p < a.rowptr[i + 1]; ++p) {
       out << (i + 1) << ' ' << (a.colids[p] + 1) << ' ' << a.values[p] << '\n';
     }
   }
+  out.precision(old_precision);
 }
 
 /// Convenience: write CSR to a Matrix Market file.

@@ -1,0 +1,554 @@
+// The mspgemm-serve coordinator: fork/execs N worker processes, places
+// contiguous row-block shards of A (and the whole of B) on them through a
+// shared durable shard directory, routes batched multi-mask queries over
+// the wire protocol (serve/protocol.hpp), and stitches the per-worker row
+// blocks back into whole results with `stitch_row_blocks`.
+//
+// Placement contract. `place(a, b, ranges)` writes worker k's A rows
+// [ranges[k], ranges[k+1]) as the blob `a-shard-<k>.bin` and B once as
+// `b.bin` into the shard directory, then assigns each worker its range and
+// keys. The directory is *durable* for the coordinator's lifetime: a
+// worker that crashes is re-spawned and rebuilds its entire state from one
+// kAssign against the same blobs — that is what makes restart recovery a
+// pure re-read instead of a re-shard.
+//
+// Bit-identity. Masks are sliced over exactly the placement ranges, every
+// kernel in the library is row-wise, and each worker runs the same Engine
+// code the single-process TiledEngine oracle runs per shard — so stitching
+// the per-worker blocks reproduces the monolithic result bit for bit. The
+// serve tests and the mspgemm-serve binary assert this on every query.
+//
+// Fault handling. A socket-level failure talking to a worker (EPIPE on
+// send, EOF on reply — the signature of a crashed or killed process) takes
+// the restart path: SIGKILL + reap the old process, spawn a fresh one,
+// re-assign, re-send the in-flight query — once per worker per query, then
+// the error propagates. A worker-*reported* error (kError) is a typed
+// io_error at the call site and never triggers a restart: the worker is
+// alive and the failure is deterministic.
+//
+// Shutdown. `shutdown()` sends kShutdown, awaits kBye, reaps every worker
+// (recording whether each exited 0), and removes the socket directory —
+// the clean-teardown evidence the CI smoke job asserts. The destructor
+// falls back to SIGKILL for anything still alive.
+#pragma once
+
+#if !defined(__unix__) && !(defined(__APPLE__) && defined(__MACH__))
+#error "serve/coordinator.hpp requires a POSIX platform (fork/exec)"
+#endif
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "serve/protocol.hpp"
+#include "serve/worker.hpp"
+#include "util/common.hpp"
+
+namespace msp::serve {
+
+class Coordinator {
+ public:
+  struct Options {
+    /// Worker process count (the K of the row-block placement).
+    int workers = 2;
+    /// Path of the binary to fork/exec with `--worker` (normally the
+    /// running mspgemm-serve binary itself).
+    std::string worker_cmd;
+    /// Durable shard directory shared with the workers. Empty (default):
+    /// a unique temp directory, removed at shutdown. A caller-provided
+    /// directory must exist and is left in place.
+    std::filesystem::path shard_dir;
+    /// Retry policy forwarded to every worker's storage seam.
+    RetryBackend::Options retry;
+    /// Forwarded as `--fault-reads` to each worker: the first N storage
+    /// reads fail once each (test/CI hook; 0 = off).
+    int fault_reads = 0;
+    /// How long to wait for a spawned worker to connect and say hello.
+    double connect_timeout_s = 30.0;
+  };
+
+  /// Coordinator-side service counters.
+  struct Stats {
+    std::size_t queries = 0;          ///< batched queries answered
+    std::size_t masks_routed = 0;     ///< mask × worker messages routed
+    std::size_t stitches = 0;         ///< results stitched from row blocks
+    std::size_t worker_restarts = 0;  ///< crash-recovery respawns
+  };
+
+  explicit Coordinator(Options opt) : opt_(std::move(opt)) {
+    if (opt_.workers < 1) {
+      throw invalid_argument_error("Coordinator: need at least one worker");
+    }
+    if (opt_.worker_cmd.empty()) {
+      throw invalid_argument_error("Coordinator: worker_cmd is required");
+    }
+    sock_dir_ = unique_dir("mspgemm-serve-sock");
+    sock_path_ = (sock_dir_ / "serve.sock").string();
+    if (opt_.shard_dir.empty()) {
+      shard_dir_ = unique_dir("mspgemm-serve-shards");
+      own_shard_dir_ = true;
+    } else {
+      shard_dir_ = opt_.shard_dir;
+      if (!std::filesystem::is_directory(shard_dir_)) {
+        throw invalid_argument_error(
+            "Coordinator: shard_dir does not exist: " + shard_dir_.string());
+      }
+    }
+    blob_store_ = std::make_unique<LocalDirBackend>(shard_dir_);
+    listen_fd_ = listen_unix(sock_path_, opt_.workers);
+    workers_.resize(static_cast<std::size_t>(opt_.workers));
+    try {
+      for (int k = 0; k < opt_.workers; ++k) {
+        workers_[static_cast<std::size_t>(k)].pid = spawn_worker(k);
+      }
+      for (int k = 0; k < opt_.workers; ++k) accept_worker();
+    } catch (...) {
+      teardown_by_force();
+      throw;
+    }
+  }
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  ~Coordinator() {
+    if (!shut_down_) {
+      try {
+        shutdown();
+      } catch (...) {
+        teardown_by_force();
+      }
+    }
+  }
+
+  /// Split A over `ranges` (K+1 row boundaries), write the blocks and B
+  /// into the shard directory, and assign every worker its block. May be
+  /// called again to re-place new operands on the same worker fleet.
+  void place(const ServeCsr& a, const ServeCsr& b, std::vector<ServeIndex> ranges) {
+    if (static_cast<int>(ranges.size()) != opt_.workers + 1 ||
+        ranges.front() != 0 || ranges.back() != a.nrows) {
+      throw invalid_argument_error(
+          "Coordinator::place: ranges must span [0, nrows] with one block "
+          "per worker");
+    }
+    if (a.ncols != b.nrows) {
+      throw invalid_argument_error("Coordinator::place: dimension mismatch");
+    }
+    ranges_ = std::move(ranges);
+    a_nrows_ = a.nrows;
+    b_ncols_ = b.ncols;
+    {
+      const std::vector<std::byte> blob = detail::serialize_shard(b);
+      blob_store_->write(kBlobKeyB, blob.data(), blob.size());
+    }
+    for (int k = 0; k < opt_.workers; ++k) {
+      const ServeCsr blk = slice_rows(a, range_lo(k), range_hi(k));
+      const std::vector<std::byte> blob = detail::serialize_shard(blk);
+      blob_store_->write(a_key(k), blob.data(), blob.size());
+    }
+    placed_ = true;
+    for (int k = 0; k < opt_.workers; ++k) assign_worker(k);
+  }
+
+  /// Answer one batched multi-mask query: every mask is sliced over the
+  /// placement ranges, fanned out, and the per-worker row blocks are
+  /// stitched back per mask. Bit-identical to the single-process oracle.
+  std::vector<ServeCsr> query(const std::vector<const ServeCsr*>& masks,
+                              const QueryConfig& cfg) {
+    if (!placed_) {
+      throw invalid_argument_error("Coordinator::query before place()");
+    }
+    for (const ServeCsr* m : masks) {
+      if (m == nullptr || m->nrows != a_nrows_ || m->ncols != b_ncols_) {
+        throw invalid_argument_error(
+            "Coordinator::query: mask shape does not match the placement");
+      }
+    }
+    const std::uint64_t qid = next_query_id_++;
+    // Build each worker's query payload up front; it doubles as the
+    // retransmit buffer if that worker has to be restarted mid-query.
+    std::vector<std::vector<std::byte>> payloads(
+        static_cast<std::size_t>(opt_.workers));
+    for (int k = 0; k < opt_.workers; ++k) {
+      WireWriter w;
+      w.put_u64(qid);
+      put_query_config(w, cfg);
+      w.put_u32(static_cast<std::uint32_t>(masks.size()));
+      for (const ServeCsr* m : masks) {
+        w.put_blob(detail::serialize_shard(
+            slice_rows(*m, range_lo(k), range_hi(k))));
+      }
+      payloads[static_cast<std::size_t>(k)] = w.bytes();
+      stats_.masks_routed += masks.size();
+    }
+
+    // Fan out, then gather. Socket-level failures (crashed worker) take
+    // the restart-and-resend path at either step, once per worker.
+    std::vector<bool> restarted(static_cast<std::size_t>(opt_.workers),
+                                false);
+    for (int k = 0; k < opt_.workers; ++k) {
+      try {
+        send_frame(fd(k), MsgType::kQuery, payloads[static_cast<std::size_t>(k)]);
+      } catch (const io_error&) {
+        restart_and_resend(k, payloads, restarted);
+      }
+    }
+    std::vector<std::vector<ServeCsr>> blocks(
+        static_cast<std::size_t>(opt_.workers));
+    for (int k = 0; k < opt_.workers; ++k) {
+      Frame f;
+      try {
+        f = recv_frame(fd(k));
+      } catch (const io_error&) {
+        restart_and_resend(k, payloads, restarted);
+        f = recv_frame(fd(k));
+      }
+      if (f.type == MsgType::kError) rethrow_remote_error(f.payload, k);
+      if (f.type != MsgType::kResult) {
+        throw io_error(std::string("serve: expected result frame, got ") +
+                       msg_type_name(f.type));
+      }
+      blocks[static_cast<std::size_t>(k)] = decode_result(f, qid, masks.size());
+    }
+
+    // Stitch: per mask, the K worker blocks are that mask's result's row
+    // blocks in placement order.
+    std::vector<ServeCsr> out;
+    out.reserve(masks.size());
+    for (std::size_t j = 0; j < masks.size(); ++j) {
+      std::vector<ServeCsr> parts;
+      parts.reserve(static_cast<std::size_t>(opt_.workers));
+      for (int k = 0; k < opt_.workers; ++k) {
+        parts.push_back(std::move(blocks[static_cast<std::size_t>(k)][j]));
+      }
+      out.push_back(stitch_row_blocks(parts, b_ncols_));
+      ++stats_.stitches;
+    }
+    ++stats_.queries;
+    return out;
+  }
+
+  /// Snapshot worker k's service counters (kStats round trip).
+  WorkerStats worker_stats(int k) {
+    send_frame(fd(k), MsgType::kStats, nullptr, 0);
+    const Frame f = expect_frame(fd(k), MsgType::kStatsReply, k);
+    return decode_worker_stats(f.payload);
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] int workers() const { return opt_.workers; }
+  [[nodiscard]] const std::vector<ServeIndex>& ranges() const { return ranges_; }
+  [[nodiscard]] const std::filesystem::path& shard_dir() const {
+    return shard_dir_;
+  }
+  [[nodiscard]] const std::filesystem::path& socket_dir() const {
+    return sock_dir_;
+  }
+  [[nodiscard]] ::pid_t worker_pid(int k) const {
+    return workers_.at(static_cast<std::size_t>(k)).pid;
+  }
+
+  /// Test hook: SIGKILL worker k and reap it. The next query (or an
+  /// explicit ensure) takes the restart path.
+  void kill_worker(int k) {
+    WorkerSlot& w = workers_.at(static_cast<std::size_t>(k));
+    if (w.pid > 0) {
+      ::kill(w.pid, SIGKILL);
+      reap(w, /*force=*/false);
+    }
+    if (w.fd >= 0) {
+      ::close(w.fd);
+      w.fd = -1;
+    }
+  }
+
+  /// Graceful teardown: kShutdown → kBye → reap, then remove the socket
+  /// directory (and the shard directory when coordinator-owned). Returns
+  /// true when every worker acknowledged and exited 0 and both
+  /// directories are gone — the "clean shutdown" the smoke job asserts.
+  bool shutdown() {
+    if (shut_down_) return clean_shutdown_;
+    shut_down_ = true;
+    bool clean = true;
+    for (int k = 0; k < opt_.workers; ++k) {
+      WorkerSlot& w = workers_[static_cast<std::size_t>(k)];
+      if (w.fd >= 0) {
+        try {
+          send_frame(w.fd, MsgType::kShutdown, nullptr, 0);
+          const Frame f = recv_frame(w.fd);
+          if (f.type != MsgType::kBye) clean = false;
+        } catch (const io_error&) {
+          clean = false;
+        }
+        ::close(w.fd);
+        w.fd = -1;
+      } else {
+        clean = false;  // a worker was down at shutdown time
+      }
+      if (w.pid > 0) {
+        if (!reap(w, /*force=*/true)) clean = false;
+      }
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(sock_dir_, ec);
+    if (ec || std::filesystem::exists(sock_dir_)) clean = false;
+    if (own_shard_dir_) {
+      blob_store_.reset();
+      std::filesystem::remove_all(shard_dir_, ec);
+      if (ec) clean = false;
+    }
+    clean_shutdown_ = clean;
+    return clean;
+  }
+
+ private:
+  struct WorkerSlot {
+    ::pid_t pid = -1;
+    int fd = -1;
+  };
+
+  static constexpr const char* kBlobKeyB = "b.bin";
+  [[nodiscard]] static std::string a_key(int k) {
+    return "a-shard-" + std::to_string(k) + ".bin";
+  }
+
+  [[nodiscard]] ServeIndex range_lo(int k) const {
+    return ranges_[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] ServeIndex range_hi(int k) const {
+    return ranges_[static_cast<std::size_t>(k) + 1];
+  }
+
+  [[nodiscard]] int fd(int k) const {
+    const WorkerSlot& w = workers_.at(static_cast<std::size_t>(k));
+    if (w.fd < 0) {
+      throw io_error("serve: worker " + std::to_string(k) +
+                     " is not connected");
+    }
+    return w.fd;
+  }
+
+  static std::filesystem::path unique_dir(const char* prefix) {
+    std::random_device rd;
+    std::ostringstream name;
+    name << prefix << '-' << ::getpid() << '-' << std::hex << rd();
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / name.str();
+    std::filesystem::create_directories(dir);
+    return dir;
+  }
+
+  ::pid_t spawn_worker(int k) {
+    // argv is fully materialized before fork(): between fork and exec
+    // only async-signal-safe calls are allowed in a threaded parent.
+    std::vector<std::string> args = {
+        opt_.worker_cmd,
+        "--worker",
+        "--socket", sock_path_,
+        "--id", std::to_string(k),
+        "--shard-dir", shard_dir_.string(),
+        "--retry-max-attempts", std::to_string(opt_.retry.max_attempts),
+        "--retry-initial-ms", std::to_string(opt_.retry.initial_backoff_ms),
+        "--retry-multiplier", std::to_string(opt_.retry.multiplier),
+        "--retry-max-ms", std::to_string(opt_.retry.max_backoff_ms),
+        "--retry-jitter", std::to_string(opt_.retry.jitter),
+    };
+    if (opt_.fault_reads > 0) {
+      args.emplace_back("--fault-reads");
+      args.emplace_back(std::to_string(opt_.fault_reads));
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& s : args) argv.push_back(s.data());
+    argv.push_back(nullptr);
+    const ::pid_t pid = ::fork();
+    if (pid < 0) {
+      throw io_error("serve: fork() failed");
+    }
+    if (pid == 0) {
+      ::execv(argv[0], argv.data());
+      _exit(127);  // exec failed; async-signal-safe exit only
+    }
+    return pid;
+  }
+
+  /// Accept one pending worker connection, read its kHello, and slot it
+  /// by the worker id it announces.
+  void accept_worker() {
+    ::pollfd p{};
+    p.fd = listen_fd_;
+    p.events = POLLIN;
+    const int timeout_ms =
+        static_cast<int>(opt_.connect_timeout_s * 1000.0);
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r <= 0) {
+      throw io_error("serve: timed out waiting for a worker to connect");
+    }
+    const int cfd = accept_unix(listen_fd_);
+    const Frame hello = recv_frame(cfd);
+    if (hello.type != MsgType::kHello) {
+      ::close(cfd);
+      throw io_error("serve: first frame from a worker was not hello");
+    }
+    WireReader rd(hello.payload);
+    const std::uint32_t version = rd.get_u32();
+    const std::uint32_t id = rd.get_u32();
+    if (version != kProtocolVersion ||
+        id >= static_cast<std::uint32_t>(opt_.workers)) {
+      ::close(cfd);
+      throw io_error("serve: bad hello (version/worker id)");
+    }
+    WorkerSlot& w = workers_[id];
+    if (w.fd >= 0) {
+      ::close(cfd);
+      throw io_error("serve: duplicate hello from worker " +
+                     std::to_string(id));
+    }
+    w.fd = cfd;
+  }
+
+  void assign_worker(int k) {
+    AssignMsg m;
+    m.row_begin = static_cast<std::uint64_t>(range_lo(k));
+    m.row_end = static_cast<std::uint64_t>(range_hi(k));
+    m.a_key = a_key(k);
+    m.b_key = kBlobKeyB;
+    send_frame(fd(k), MsgType::kAssign, encode_assign(m));
+    (void)expect_frame(fd(k), MsgType::kAssignDone, k);
+  }
+
+  /// Crash recovery: kill/reap whatever is left of worker k, spawn a
+  /// fresh process, re-assign its block (the durable shard directory
+  /// still holds the blobs), and resend its in-flight query.
+  void restart_worker(int k) {
+    WorkerSlot& w = workers_[static_cast<std::size_t>(k)];
+    if (w.fd >= 0) {
+      ::close(w.fd);
+      w.fd = -1;
+    }
+    if (w.pid > 0) {
+      ::kill(w.pid, SIGKILL);
+      reap(w, /*force=*/false);
+    }
+    w.pid = spawn_worker(k);
+    accept_worker();
+    if (w.fd < 0) {
+      throw io_error("serve: restarted worker " + std::to_string(k) +
+                     " did not reconnect");
+    }
+    if (placed_) assign_worker(k);
+    ++stats_.worker_restarts;
+  }
+
+  void restart_and_resend(int k,
+                          const std::vector<std::vector<std::byte>>& payloads,
+                          std::vector<bool>& restarted) {
+    if (restarted[static_cast<std::size_t>(k)]) throw;  // second failure
+    restarted[static_cast<std::size_t>(k)] = true;
+    restart_worker(k);
+    send_frame(fd(k), MsgType::kQuery,
+               payloads[static_cast<std::size_t>(k)]);
+  }
+
+  std::vector<ServeCsr> decode_result(const Frame& f, std::uint64_t qid,
+                                      std::size_t nmasks) {
+    WireReader r(f.payload);
+    if (r.get_u64() != qid) {
+      throw io_error("serve: result does not match the in-flight query id");
+    }
+    if (r.get_u32() != nmasks) {
+      throw io_error("serve: result block count mismatch");
+    }
+    std::vector<ServeCsr> blocks;
+    blocks.reserve(nmasks);
+    for (std::size_t j = 0; j < nmasks; ++j) {
+      const auto [p, n] = r.get_blob_view();
+      blocks.push_back(detail::deserialize_shard<ServeIndex, ServeValue>(
+          p, n, "result block"));
+    }
+    return blocks;
+  }
+
+  /// Reap worker process `w.pid`. With `force`, escalate to SIGKILL if it
+  /// has not exited after a short grace period. Returns true when the
+  /// process exited normally with status 0.
+  bool reap(WorkerSlot& w, bool force) {
+    int status = 0;
+    for (int spins = 0;; ++spins) {
+      const ::pid_t r = ::waitpid(w.pid, &status, force ? WNOHANG : 0);
+      if (r == w.pid || (r < 0 && errno == ECHILD)) break;
+      if (r < 0 && errno == EINTR) continue;
+      if (r < 0) break;
+      if (spins >= 1000) {  // ~5 s grace, then the hammer
+        ::kill(w.pid, SIGKILL);
+        ::waitpid(w.pid, &status, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    w.pid = -1;
+    return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  }
+
+  void teardown_by_force() {
+    for (WorkerSlot& w : workers_) {
+      if (w.fd >= 0) {
+        ::close(w.fd);
+        w.fd = -1;
+      }
+      if (w.pid > 0) {
+        ::kill(w.pid, SIGKILL);
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        w.pid = -1;
+      }
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(sock_dir_, ec);
+    if (own_shard_dir_) {
+      blob_store_.reset();
+      std::filesystem::remove_all(shard_dir_, ec);
+    }
+  }
+
+  Options opt_;
+  std::filesystem::path sock_dir_;
+  std::string sock_path_;
+  std::filesystem::path shard_dir_;
+  bool own_shard_dir_ = false;
+  std::unique_ptr<LocalDirBackend> blob_store_;
+  int listen_fd_ = -1;
+  std::vector<WorkerSlot> workers_;
+  std::vector<ServeIndex> ranges_;
+  ServeIndex a_nrows_ = 0;
+  ServeIndex b_ncols_ = 0;
+  bool placed_ = false;
+  std::uint64_t next_query_id_ = 1;
+  Stats stats_;
+  bool shut_down_ = false;
+  bool clean_shutdown_ = false;
+};
+
+}  // namespace msp::serve

@@ -1,0 +1,9 @@
+// Umbrella for the distributed service layer (POSIX-only): the wire
+// protocol, the worker process loop, and the coordinator. Not part of
+// mspgemm.hpp — serving is an application concern; include this (or the
+// individual headers) explicitly.
+#pragma once
+
+#include "serve/coordinator.hpp"  // IWYU pragma: export
+#include "serve/protocol.hpp"     // IWYU pragma: export
+#include "serve/worker.hpp"       // IWYU pragma: export

@@ -1,0 +1,267 @@
+// The mspgemm-serve worker process: one `Engine` + one `ShardStore` per
+// process, serving masked-product queries for a contiguous row block of A.
+//
+// Lifecycle (mirrors the protocol flow in serve/protocol.hpp):
+//
+//  1. connect to the coordinator's Unix socket (retrying while it binds)
+//     and introduce itself with kHello;
+//  2. on kAssign, fetch its A row block and the whole of B from the shared
+//     durable shard directory *through the retrying storage seam*
+//     (`RetryBackend` over `LocalDirBackend`, optionally with an argv-armed
+//     transient-fault layer in between for tests/CI), bind both operands
+//     once (`BoundMatrix`), and acknowledge with kAssignDone;
+//  3. per kQuery, deserialize each mask row block straight out of the
+//     frame, run `Engine::multiply_dyn` with the requested runtime
+//     configuration, and stream the per-block results back — because every
+//     kernel is row-wise, each result is exactly the corresponding row
+//     block of the monolithic product, which is what lets the coordinator
+//     stitch bit-identically;
+//  4. kStats answers with a `WorkerStats` snapshot (service counters,
+//     RetryBackend accounting, plan-cache amortization);
+//  5. kShutdown answers kBye and exits 0.
+//
+// A failure while handling any single frame is reported as kError and the
+// worker keeps serving — only a dead coordinator (socket EOF) ends the
+// process abnormally. Crash recovery is the coordinator's job: the shard
+// directory is durable, so a respawned worker rebuilds its entire state
+// from one kAssign.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/bound_matrix.hpp"
+#include "core/engine.hpp"
+#include "core/shard.hpp"
+#include "core/storage.hpp"
+#include "matrix/csr.hpp"
+#include "serve/protocol.hpp"
+#include "util/common.hpp"
+
+namespace msp::serve {
+
+/// The service's concrete operand types: 32-bit indices, double values —
+/// the paper corpus configuration the examples and benches use.
+using ServeIndex = index_t;
+using ServeValue = double;
+using ServeCsr = CsrMatrix<ServeIndex, ServeValue>;
+
+/// Storage decorator whose first `k` read() calls throw a transient
+/// io_error — the worker's argv-armed (`--fault-reads k`) fault hook, so
+/// CI and the serve differential test can watch RetryBackend absorb real
+/// cross-process storage faults without linking test code into the
+/// worker binary. Thread-safe (single atomic countdown).
+class TransientFaultBackend : public StorageBackend {
+ public:
+  TransientFaultBackend(std::shared_ptr<StorageBackend> inner, int faults)
+      : inner_(std::move(inner)), remaining_(faults) {}
+
+  void write(const std::string& id, const void* data,
+             std::size_t size) override {
+    inner_->write(id, data, size);
+  }
+
+  ReadBuffer read(const std::string& id) override {
+    if (remaining_.fetch_sub(1, std::memory_order_relaxed) > 0) {
+      throw io_error("transient-fault: injected read error: " + id);
+    }
+    return inner_->read(id);
+  }
+
+  void remove(const std::string& id) override { inner_->remove(id); }
+
+  bool exists(const std::string& id) override { return inner_->exists(id); }
+
+  [[nodiscard]] std::string name() const override {
+    return "transient-fault(" + inner_->name() + ")";
+  }
+
+ private:
+  std::shared_ptr<StorageBackend> inner_;
+  std::atomic<int> remaining_;
+};
+
+struct WorkerConfig {
+  std::string socket_path;
+  std::filesystem::path shard_dir;
+  int worker_id = 0;
+  RetryBackend::Options retry;
+  /// > 0 arms a TransientFaultBackend under the retry layer: the first
+  /// `fault_reads` storage reads fail once each.
+  int fault_reads = 0;
+  double connect_timeout_s = 30.0;
+};
+
+class Worker {
+ public:
+  explicit Worker(WorkerConfig cfg) : cfg_(std::move(cfg)) {
+    auto local = std::make_shared<LocalDirBackend>(cfg_.shard_dir);
+    std::shared_ptr<StorageBackend> chain = local;
+    if (cfg_.fault_reads > 0) {
+      chain = std::make_shared<TransientFaultBackend>(chain,
+                                                      cfg_.fault_reads);
+    }
+    retry_ = std::make_shared<RetryBackend>(chain, cfg_.retry);
+    ShardStore::Options so;
+    so.backend = retry_;
+    store_ = std::make_unique<ShardStore>(so);
+  }
+
+  /// Serve until kShutdown (returns 0) or a dead coordinator (returns 1).
+  int run() {
+    fd_ = connect_unix_retry(cfg_.socket_path, cfg_.connect_timeout_s);
+    {
+      WireWriter w;
+      w.put_u32(kProtocolVersion);
+      w.put_u32(static_cast<std::uint32_t>(cfg_.worker_id));
+      send_frame(fd_, MsgType::kHello, w.bytes());
+    }
+    while (true) {
+      Frame f;
+      try {
+        f = recv_frame(fd_);
+      } catch (const io_error&) {
+        ::close(fd_);  // the coordinator vanished without kShutdown
+        return 1;
+      }
+      if (f.type == MsgType::kShutdown) {
+        send_frame(fd_, MsgType::kBye, nullptr, 0);
+        ::close(fd_);
+        return 0;
+      }
+      try {
+        handle(f);
+      } catch (const std::exception& e) {
+        WireWriter w;
+        w.put_string(e.what());
+        send_frame(fd_, MsgType::kError, w.bytes());
+      }
+    }
+  }
+
+ private:
+  void handle(const Frame& f) {
+    switch (f.type) {
+      case MsgType::kAssign: return handle_assign(f);
+      case MsgType::kQuery: return handle_query(f);
+      case MsgType::kStats: return handle_stats();
+      default:
+        throw io_error(std::string("worker: unexpected ") +
+                       msg_type_name(f.type) + " frame");
+    }
+  }
+
+  void handle_assign(const Frame& f) {
+    const AssignMsg m = decode_assign(f.payload);
+    // Both fetches go through the retrying seam; a transient fault here is
+    // retried inside RetryBackend, a budget exhaustion surfaces as kError.
+    ReadBuffer a_blob = store_->backend().read(m.a_key);
+    a_blk_ = detail::deserialize_shard<ServeIndex, ServeValue>(
+        a_blob.data(), a_blob.size(), m.a_key);
+    ReadBuffer b_blob = store_->backend().read(m.b_key);
+    b_ = detail::deserialize_shard<ServeIndex, ServeValue>(
+        b_blob.data(), b_blob.size(), m.b_key);
+    if (static_cast<std::uint64_t>(a_blk_.nrows) != m.row_end - m.row_begin) {
+      throw io_error("worker: assigned A block does not match its row range");
+    }
+    if (a_blk_.ncols != b_.nrows) {
+      throw io_error("worker: assigned A block and B shapes disagree");
+    }
+    bytes_loaded_ += a_blob.size() + b_blob.size();
+    shards_resident_ = 2;
+    row_begin_ = m.row_begin;
+    row_end_ = m.row_end;
+    // Bind once; every query then reuses the fingerprints/flops/transpose
+    // the handles cache — the steady-state service path.
+    a_h_.emplace(a_blk_);
+    b_h_.emplace(b_);
+    WireWriter w;
+    w.put_u64(static_cast<std::uint64_t>(a_blk_.nrows));
+    w.put_u64(a_blk_.nnz());
+    w.put_u64(static_cast<std::uint64_t>(b_.nrows));
+    w.put_u64(b_.nnz());
+    send_frame(fd_, MsgType::kAssignDone, w.bytes());
+  }
+
+  void handle_query(const Frame& f) {
+    if (!a_h_.has_value()) {
+      throw io_error("worker: query before assignment");
+    }
+    WireReader r(f.payload);
+    const std::uint64_t query_id = r.get_u64();
+    const QueryConfig cfg = get_query_config(r);
+    const std::uint32_t nmasks = r.get_u32();
+    DynConfig dyn;
+    dyn.semiring = cfg.semiring;
+    dyn.scheme = cfg.scheme;
+    dyn.mask_kind = cfg.kind;
+    dyn.mask_semantics = cfg.semantics;
+    WireWriter out;
+    out.put_u64(query_id);
+    out.put_u32(nmasks);
+    for (std::uint32_t j = 0; j < nmasks; ++j) {
+      const auto [p, n] = r.get_blob_view();
+      const ServeCsr mask =
+          detail::deserialize_shard<ServeIndex, ServeValue>(p, n,
+                                                            "mask block");
+      const BoundMatrix<ServeIndex, ServeValue> m_h(mask);
+      const ServeCsr c = engine_.multiply_dyn(*a_h_, *b_h_, m_h, dyn);
+      out.put_blob(detail::serialize_shard(c));
+      ++masks_;
+    }
+    ++queries_;
+    send_frame(fd_, MsgType::kResult, out.bytes());
+  }
+
+  void handle_stats() {
+    WorkerStats s;
+    s.worker_id = static_cast<std::uint64_t>(cfg_.worker_id);
+    s.row_begin = row_begin_;
+    s.row_end = row_end_;
+    s.queries = queries_;
+    s.masks = masks_;
+    s.shards_resident = shards_resident_;
+    s.bytes_loaded = bytes_loaded_;
+    const RetryBackend::Stats& rs = retry_->stats();
+    s.storage_retries = rs.retries.load(std::memory_order_relaxed);
+    s.storage_giveups = rs.giveups.load(std::memory_order_relaxed);
+    s.backoff_micros = rs.backoff_micros.load(std::memory_order_relaxed);
+    const ExecutionContext::CacheStats& cs = engine_.cache_stats();
+    s.plan_hits = cs.plan_hits;
+    s.plan_misses = cs.plan_misses;
+    send_frame(fd_, MsgType::kStatsReply, encode_worker_stats(s));
+  }
+
+  WorkerConfig cfg_;
+  std::shared_ptr<RetryBackend> retry_;
+  std::unique_ptr<ShardStore> store_;
+  Engine engine_;
+  int fd_ = -1;
+
+  ServeCsr a_blk_;
+  ServeCsr b_;
+  std::optional<BoundMatrix<ServeIndex, ServeValue>> a_h_;
+  std::optional<BoundMatrix<ServeIndex, ServeValue>> b_h_;
+  std::uint64_t row_begin_ = 0;
+  std::uint64_t row_end_ = 0;
+  std::uint64_t queries_ = 0;
+  std::uint64_t masks_ = 0;
+  std::uint64_t shards_resident_ = 0;
+  std::uint64_t bytes_loaded_ = 0;
+};
+
+/// Entry point for the re-exec'd `mspgemm-serve --worker` process.
+inline int worker_main(const WorkerConfig& cfg) {
+  Worker w(cfg);
+  return w.run();
+}
+
+}  // namespace msp::serve

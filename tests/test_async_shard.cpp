@@ -104,6 +104,23 @@ TEST(AsyncOpGroupTest, FailuresAreCountedNotRethrown) {
   EXPECT_EQ(ran.load(), 2);
 }
 
+// Regression: first-error tracking used to use first_error_.empty() as the
+// "no error yet" sentinel, so a first failure whose what() was empty was
+// indistinguishable from no failure and a LATER failure's message would
+// overwrite the (empty) first one. A dedicated flag pins the real first.
+TEST(AsyncOpGroupTest, EmptyWhatFirstErrorIsNotOverwritten) {
+  AsyncOpGroup g(1);
+  g.submit([] { throw io_error(""); });  // first failure: empty message
+  g.drain();
+  EXPECT_EQ(g.failed(), 1u);
+  EXPECT_EQ(g.first_error(), "");
+  g.submit([] { throw io_error("second boom"); });
+  g.drain();
+  EXPECT_EQ(g.failed(), 2u);
+  // The empty first error is preserved, not replaced by "second boom".
+  EXPECT_EQ(g.first_error(), "");
+}
+
 TEST(AsyncOpGroupTest, ConcurrentSubmittersAreSafe) {
   AsyncOpGroup g(3);
   std::atomic<int> counter{0};

@@ -2,7 +2,10 @@
 // failure injection on malformed inputs.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
 #include <sstream>
+#include <vector>
 
 #include "matrix/mmio.hpp"
 #include "test_support.hpp"
@@ -95,6 +98,34 @@ TEST(Mmio, IntegerFieldAccepted) {
   EXPECT_DOUBLE_EQ(a.values[0], 7.0);
 }
 
+// Regression: the writer must emit max_digits10 significant digits, or
+// values like 1/3 and 0.1 come back off by an ulp and round-trip
+// bit-identity breaks (the default ostream precision is 6).
+TEST(Mmio, FullPrecisionRoundTripIsBitIdentical) {
+  std::vector<VT> vals = {1.0 / 3.0, 0.1, 3.14159265358979323846,
+                          std::nextafter(1.0, 2.0), -2.0 / 7.0, 1e-300};
+  CsrMatrix<IT, VT> a(2, 3,
+                      {0, 3, 6},
+                      {0, 1, 2, 0, 1, 2},
+                      std::move(vals));
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const auto back = coo_to_csr(read_matrix_market<IT, VT>(ss));
+  ASSERT_EQ(back.nnz(), a.nnz());
+  for (std::size_t i = 0; i < a.nnz(); ++i) {
+    // Exact bit equality, not EXPECT_DOUBLE_EQ's 4-ulp tolerance.
+    EXPECT_EQ(std::memcmp(&a.values[i], &back.values[i], sizeof(VT)), 0)
+        << "value " << i << " lost bits in the text round trip";
+  }
+}
+
+TEST(Mmio, WriterRestoresStreamPrecision) {
+  std::stringstream ss;
+  ss.precision(4);
+  write_matrix_market(ss, random_csr<IT, VT>(3, 3, 0.5, 2));
+  EXPECT_EQ(ss.precision(), 4);
+}
+
 // ---- failure injection ------------------------------------------------
 
 TEST(MmioErrors, MissingBanner) {
@@ -144,6 +175,32 @@ TEST(MmioErrors, ZeroBasedIndexRejected) {
       "2 2 1\n"
       "0 1 1.0\n");
   EXPECT_THROW((read_matrix_market<IT, VT>(ss)), io_error);
+}
+
+// Regression: an unparsable non-comment line before the size line used to
+// be silently skipped (the loop `continue`d on extraction failure), so a
+// corrupted header could bind the size line to a random later row. Only
+// blank lines are tolerated now.
+TEST(MmioErrors, GarbageBeforeSizeLineRejected) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "this is not a size line\n"
+      "2 2 1\n"
+      "1 1 1.0\n");
+  EXPECT_THROW((read_matrix_market<IT, VT>(ss)), io_error);
+}
+
+TEST(Mmio, BlankLinesBeforeSizeLineTolerated) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% comment\n"
+      "\n"
+      "   \t\n"
+      "2 2 1\n"
+      "1 2 4.0\n");
+  const auto a = coo_to_csr(read_matrix_market<IT, VT>(ss));
+  ASSERT_EQ(a.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(a.values[0], 4.0);
 }
 
 TEST(MmioErrors, MissingValueRejected) {

@@ -1,0 +1,324 @@
+// Distributed service suite (label: serve): the Coordinator/Worker pair
+// from serve/serve.hpp against the single-process TiledEngine oracle.
+//
+// What is pinned here:
+//  * wire protocol framing round trips and rejects truncated payloads with
+//    a typed io_error;
+//  * for K ∈ {1, 2, 4} workers, every stitched multi-mask answer is
+//    bit-identical to the oracle over the same row ranges — structural and
+//    valued semantics, mask and complement kinds, repeated batches
+//    (steady-state plan-cache path);
+//  * injected transient storage faults are absorbed by the workers'
+//    RetryBackend seam (observable in WorkerStats) without changing a bit
+//    of any answer, and an exhausted retry budget surfaces as a typed
+//    io_error at the coordinator call site;
+//  * a SIGKILLed worker is respawned, re-assigned from the durable shard
+//    directory, and the in-flight query still answers bit-identically;
+//  * shutdown is clean: every worker acknowledges and exits 0 and the
+//    socket directory is removed.
+//
+// The tests fork/exec the real mspgemm-serve binary (MSP_SERVE_BIN, wired
+// by tests/CMakeLists.txt), so the cross-process paths are the production
+// ones, not in-process stand-ins.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/tiled_engine.hpp"
+#include "serve/serve.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using msp::CsrMatrix;
+using msp::MaskKind;
+using msp::MaskSemantics;
+using msp::Scheme;
+using msp::SemiringId;
+using msp::ShardedMatrix;
+using msp::TiledEngine;
+using msp::serve::Coordinator;
+using msp::serve::QueryConfig;
+using msp::serve::ServeCsr;
+using msp::serve::ServeIndex;
+using msp::serve::WorkerStats;
+using msp::testing::csr_equal;
+using msp::testing::random_csr;
+
+Coordinator::Options base_options(int workers) {
+  Coordinator::Options opt;
+  opt.workers = workers;
+  opt.worker_cmd = MSP_SERVE_BIN;
+  // Keep test-time backoff negligible; the policy itself is unit-tested in
+  // test_storage.cpp.
+  opt.retry.initial_backoff_ms = 0.01;
+  opt.retry.max_backoff_ms = 0.1;
+  return opt;
+}
+
+struct Operands {
+  ServeCsr a, b;
+  std::vector<ServeCsr> masks;
+};
+
+Operands make_operands(int nmasks, std::uint64_t seed = 7) {
+  Operands o;
+  o.a = random_csr<ServeIndex, double>(203, 160, 0.05, seed);
+  o.b = random_csr<ServeIndex, double>(160, 121, 0.06, seed + 1);
+  for (int j = 0; j < nmasks; ++j) {
+    o.masks.push_back(random_csr<ServeIndex, double>(
+        203, 121, 0.08, seed + 10 + static_cast<std::uint64_t>(j)));
+  }
+  return o;
+}
+
+std::vector<const ServeCsr*> ptrs(const std::vector<ServeCsr>& masks) {
+  std::vector<const ServeCsr*> p;
+  for (const ServeCsr& m : masks) p.push_back(&m);
+  return p;
+}
+
+/// The single-process oracle over the exact placement ranges.
+ServeCsr oracle(const Operands& o, const std::vector<ServeIndex>& ranges,
+                const ServeCsr& mask, const QueryConfig& cfg) {
+  TiledEngine eng;
+  const ShardedMatrix<ServeIndex, double> ash(o.a, ranges, nullptr);
+  switch (cfg.semiring) {
+    case SemiringId::kPlusTimes:
+      return eng.multiply<msp::PlusTimes<double>>(
+          cfg.scheme, ash, o.b, mask, cfg.kind, cfg.semantics);
+    case SemiringId::kOrAnd:
+      return eng.multiply<msp::OrAnd<double>>(
+          cfg.scheme, ash, o.b, mask, cfg.kind, cfg.semantics);
+    default:
+      ADD_FAILURE() << "oracle: unhandled semiring";
+      return {};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, WireRoundTrip) {
+  msp::serve::WireWriter w;
+  w.put_u32(0xdeadbeefu);
+  w.put_u64(0x0123456789abcdefull);
+  w.put_string("hello, fleet");
+  const std::vector<std::byte> blob = {std::byte{1}, std::byte{2},
+                                       std::byte{3}};
+  w.put_blob(blob);
+  msp::serve::WireReader r(w.bytes());
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.get_string(), "hello, fleet");
+  EXPECT_EQ(r.get_blob(), blob);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ServeProtocol, ShortPayloadIsTypedError) {
+  const std::vector<std::byte> three = {std::byte{0}, std::byte{1},
+                                        std::byte{2}};
+  msp::serve::WireReader r(three);
+  EXPECT_THROW((void)r.get_u64(), msp::io_error);
+  // A blob whose declared length outruns the remaining payload.
+  msp::serve::WireWriter w;
+  w.put_u32(1000);
+  msp::serve::WireReader r2(w.bytes());
+  EXPECT_THROW((void)r2.get_blob(), msp::io_error);
+}
+
+TEST(ServeProtocol, StatsRoundTrip) {
+  WorkerStats s;
+  s.worker_id = 3;
+  s.row_begin = 10;
+  s.row_end = 97;
+  s.queries = 5;
+  s.masks = 20;
+  s.storage_retries = 2;
+  s.backoff_micros = 1234;
+  s.plan_hits = 19;
+  s.plan_misses = 1;
+  const WorkerStats d =
+      msp::serve::decode_worker_stats(msp::serve::encode_worker_stats(s));
+  EXPECT_EQ(d.worker_id, 3u);
+  EXPECT_EQ(d.row_end, 97u);
+  EXPECT_EQ(d.masks, 20u);
+  EXPECT_EQ(d.storage_retries, 2u);
+  EXPECT_EQ(d.backoff_micros, 1234u);
+  EXPECT_EQ(d.plan_hits, 19u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: coordinator vs oracle
+// ---------------------------------------------------------------------------
+
+class ServeDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServeDifferential, BitIdenticalToOracleAcrossSchemesAndSemantics) {
+  const int workers = GetParam();
+  const Operands o = make_operands(/*nmasks=*/3);
+  const std::vector<ServeIndex> ranges =
+      ShardedMatrix<ServeIndex, double>::balanced_ranges(o.a, workers);
+
+  Coordinator coord(base_options(workers));
+  coord.place(o.a, o.b, ranges);
+
+  const struct {
+    Scheme scheme;
+    SemiringId semiring;
+    MaskKind kind;
+    MaskSemantics semantics;
+  } cases[] = {
+      {Scheme::kMsa2P, SemiringId::kPlusTimes, MaskKind::kMask,
+       MaskSemantics::kStructural},
+      {Scheme::kHash1P, SemiringId::kPlusTimes, MaskKind::kMask,
+       MaskSemantics::kValued},
+      {Scheme::kMsa2P, SemiringId::kPlusTimes, MaskKind::kComplement,
+       MaskSemantics::kStructural},
+      {Scheme::kHeap1P, SemiringId::kOrAnd, MaskKind::kMask,
+       MaskSemantics::kStructural},
+  };
+  for (const auto& c : cases) {
+    QueryConfig cfg;
+    cfg.scheme = c.scheme;
+    cfg.semiring = c.semiring;
+    cfg.kind = c.kind;
+    cfg.semantics = c.semantics;
+    // Two rounds per configuration: the second rides the workers'
+    // steady-state plan-cache path and must not change a bit.
+    for (int round = 0; round < 2; ++round) {
+      const std::vector<ServeCsr> got = coord.query(ptrs(o.masks), cfg);
+      ASSERT_EQ(got.size(), o.masks.size());
+      for (std::size_t j = 0; j < o.masks.size(); ++j) {
+        EXPECT_TRUE(csr_equal(oracle(o, ranges, o.masks[j], cfg), got[j]))
+            << "scheme=" << msp::scheme_name(c.scheme) << " mask " << j
+            << " round " << round;
+      }
+    }
+  }
+  EXPECT_TRUE(coord.shutdown());
+}
+
+INSTANTIATE_TEST_SUITE_P(K, ServeDifferential, ::testing::Values(1, 2, 4));
+
+TEST(Serve, PlanCacheAmortizesAcrossQueries) {
+  const Operands o = make_operands(/*nmasks=*/2);
+  const std::vector<ServeIndex> ranges =
+      ShardedMatrix<ServeIndex, double>::balanced_ranges(o.a, 2);
+  Coordinator coord(base_options(2));
+  coord.place(o.a, o.b, ranges);
+  QueryConfig cfg;
+  for (int q = 0; q < 4; ++q) (void)coord.query(ptrs(o.masks), cfg);
+  const WorkerStats ws = coord.worker_stats(0);
+  EXPECT_EQ(ws.queries, 4u);
+  EXPECT_EQ(ws.masks, 8u);
+  EXPECT_GT(ws.plan_hits, 0u);  // repeat masks reuse their cached plans
+  EXPECT_EQ(coord.stats().queries, 4u);
+  EXPECT_EQ(coord.stats().masks_routed, 16u);  // 2 masks x 2 workers x 4
+  EXPECT_EQ(coord.stats().stitches, 8u);
+  EXPECT_TRUE(coord.shutdown());
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection through the storage seam
+// ---------------------------------------------------------------------------
+
+TEST(ServeFault, TransientReadFaultsAreRetriedAndAnswersUnchanged) {
+  const Operands o = make_operands(/*nmasks=*/2);
+  const std::vector<ServeIndex> ranges =
+      ShardedMatrix<ServeIndex, double>::balanced_ranges(o.a, 2);
+
+  Coordinator::Options opt = base_options(2);
+  opt.fault_reads = 2;          // each worker's first two reads fail once...
+  opt.retry.max_attempts = 5;   // ...well within the budget
+  Coordinator coord(opt);
+  coord.place(o.a, o.b, ranges);
+
+  QueryConfig cfg;
+  const std::vector<ServeCsr> got = coord.query(ptrs(o.masks), cfg);
+  for (std::size_t j = 0; j < o.masks.size(); ++j) {
+    EXPECT_TRUE(csr_equal(oracle(o, ranges, o.masks[j], cfg), got[j]));
+  }
+  std::uint64_t retries = 0;
+  std::uint64_t backoff = 0;
+  for (int k = 0; k < 2; ++k) {
+    const WorkerStats ws = coord.worker_stats(k);
+    retries += ws.storage_retries;
+    backoff += ws.backoff_micros;
+    EXPECT_EQ(ws.storage_giveups, 0u);
+  }
+  // Both workers absorbed both of their injected faults (observable in the
+  // RetryBackend accounting the stats frame carries).
+  EXPECT_EQ(retries, 4u);
+  EXPECT_GT(backoff, 0u);
+  EXPECT_TRUE(coord.shutdown());
+}
+
+TEST(ServeFault, ExhaustedRetryBudgetIsTypedErrorAtTheCallSite) {
+  const Operands o = make_operands(/*nmasks=*/1);
+  const std::vector<ServeIndex> ranges =
+      ShardedMatrix<ServeIndex, double>::balanced_ranges(o.a, 2);
+  Coordinator::Options opt = base_options(2);
+  opt.fault_reads = 1000;      // faults outlast...
+  opt.retry.max_attempts = 2;  // ...the budget
+  Coordinator coord(opt);
+  // The worker reports the give-up as kError; the coordinator surfaces it
+  // as a typed io_error and does NOT take the restart path (the worker is
+  // alive and the failure is deterministic).
+  EXPECT_THROW(coord.place(o.a, o.b, ranges), msp::io_error);
+  EXPECT_EQ(coord.stats().worker_restarts, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery and teardown
+// ---------------------------------------------------------------------------
+
+TEST(ServeRestart, KilledWorkerIsRespawnedAndAnswersStayBitIdentical) {
+  const Operands o = make_operands(/*nmasks=*/2);
+  const std::vector<ServeIndex> ranges =
+      ShardedMatrix<ServeIndex, double>::balanced_ranges(o.a, 2);
+  Coordinator coord(base_options(2));
+  coord.place(o.a, o.b, ranges);
+
+  QueryConfig cfg;
+  const std::vector<ServeCsr> before = coord.query(ptrs(o.masks), cfg);
+
+  coord.kill_worker(0);
+  const std::vector<ServeCsr> after = coord.query(ptrs(o.masks), cfg);
+  EXPECT_EQ(coord.stats().worker_restarts, 1u);
+  for (std::size_t j = 0; j < o.masks.size(); ++j) {
+    EXPECT_TRUE(csr_equal(before[j], after[j]));
+    EXPECT_TRUE(csr_equal(oracle(o, ranges, o.masks[j], cfg), after[j]));
+  }
+  // The respawned worker rebuilt its state from the durable shard dir and
+  // participates in a clean shutdown like any other.
+  EXPECT_TRUE(coord.shutdown());
+}
+
+TEST(ServeShutdown, CleanTeardownRemovesSocketDirAndReapsWorkers) {
+  const Operands o = make_operands(/*nmasks=*/1);
+  const std::vector<ServeIndex> ranges =
+      ShardedMatrix<ServeIndex, double>::balanced_ranges(o.a, 2);
+  std::filesystem::path sock_dir;
+  std::filesystem::path shard_dir;
+  {
+    Coordinator coord(base_options(2));
+    coord.place(o.a, o.b, ranges);
+    sock_dir = coord.socket_dir();
+    shard_dir = coord.shard_dir();
+    EXPECT_TRUE(std::filesystem::exists(sock_dir));
+    EXPECT_TRUE(coord.shutdown());
+    EXPECT_EQ(coord.worker_pid(0), -1);
+    EXPECT_EQ(coord.worker_pid(1), -1);
+  }
+  EXPECT_FALSE(std::filesystem::exists(sock_dir));
+  // Coordinator-owned shard dir goes with it.
+  EXPECT_FALSE(std::filesystem::exists(shard_dir));
+}
+
+}  // namespace

@@ -16,6 +16,7 @@
 #include <filesystem>
 #include <memory>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -381,6 +382,159 @@ TEST(ShardStorePrefetch, CallerBackendBlobsAreCleanedUpOnRemove) {
   // Unregistration deleted the backend blobs.
   EXPECT_FALSE(fault->inner().exists("shard-0.bin"));
   EXPECT_FALSE(fault->inner().exists("shard-1.bin"));
+}
+
+// ---------------------------------------------------------------------------
+// RetryBackend: exponential backoff + jitter + retry budget over any inner
+// backend (the mspgemm-serve workers' storage seam).
+// ---------------------------------------------------------------------------
+
+RetryBackend::Options fast_retry(int max_attempts) {
+  RetryBackend::Options opt;
+  opt.max_attempts = max_attempts;
+  opt.initial_backoff_ms = 0.01;  // measurable but negligible in tests
+  opt.max_backoff_ms = 0.1;
+  return opt;
+}
+
+TEST(RetryBackendTest, TransientReadFaultsWithinBudgetSucceed) {
+  TempDir tmp;
+  auto fault = std::make_shared<FaultInjectionBackend>(
+      std::make_shared<LocalDirBackend>(tmp.path));
+  RetryBackend retry(fault, fast_retry(4));
+  EXPECT_EQ(retry.name(), "retry(fault-injection(local-dir))");
+
+  const auto blob = pattern_blob(513);
+  retry.write("x.bin", blob.data(), blob.size());
+  fault->fail_next_reads(2);  // two transient faults, then healthy
+  const ReadBuffer got = retry.read("x.bin");
+  ASSERT_EQ(got.size(), blob.size());
+  EXPECT_EQ(std::memcmp(got.data(), blob.data(), blob.size()), 0);
+  EXPECT_EQ(fault->reads(), 3u);  // 2 failed attempts + the success
+  EXPECT_EQ(retry.stats().retries.load(), 2u);
+  EXPECT_EQ(retry.stats().giveups.load(), 0u);
+  EXPECT_GT(retry.stats().backoff_micros.load(), 0u);  // backoff observable
+}
+
+TEST(RetryBackendTest, TransientWriteFaultsWithinBudgetSucceed) {
+  TempDir tmp;
+  auto fault = std::make_shared<FaultInjectionBackend>(
+      std::make_shared<LocalDirBackend>(tmp.path));
+  RetryBackend retry(fault, fast_retry(3));
+  const auto blob = pattern_blob(64);
+  fault->fail_next_writes(1);
+  retry.write("w.bin", blob.data(), blob.size());
+  EXPECT_TRUE(retry.exists("w.bin"));
+  EXPECT_EQ(retry.stats().retries.load(), 1u);
+}
+
+TEST(RetryBackendTest, ExhaustedBudgetThrowsTypedErrorAndCountsGiveup) {
+  TempDir tmp;
+  auto fault = std::make_shared<FaultInjectionBackend>(
+      std::make_shared<LocalDirBackend>(tmp.path));
+  RetryBackend retry(fault, fast_retry(3));
+  const auto blob = pattern_blob(64);
+  retry.write("x.bin", blob.data(), blob.size());
+  fault->fail_next_reads(100);  // faults outlast the 3-attempt budget
+  try {
+    (void)retry.read("x.bin");
+    FAIL() << "expected io_error";
+  } catch (const io_error& e) {
+    // The giveup message carries the op, the id, and the attempt count.
+    EXPECT_NE(std::string(e.what()).find("read 'x.bin'"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("3 attempt(s)"), std::string::npos);
+  }
+  EXPECT_EQ(fault->reads(), 3u);  // budget respected, not one read more
+  EXPECT_EQ(retry.stats().retries.load(), 2u);
+  EXPECT_EQ(retry.stats().giveups.load(), 1u);
+}
+
+TEST(RetryBackendTest, FirstAttemptSuccessCostsNoRetries) {
+  TempDir tmp;
+  RetryBackend retry(std::make_shared<LocalDirBackend>(tmp.path),
+                     fast_retry(4));
+  const auto blob = pattern_blob(64);
+  retry.write("x.bin", blob.data(), blob.size());
+  (void)retry.read("x.bin");
+  EXPECT_EQ(retry.stats().retries.load(), 0u);
+  EXPECT_EQ(retry.stats().backoff_micros.load(), 0u);
+}
+
+TEST(RetryBackendTest, NonIoErrorsPropagateWithoutRetry) {
+  TempDir tmp;
+  auto fault = std::make_shared<FaultInjectionBackend>(
+      std::make_shared<LocalDirBackend>(tmp.path));
+  RetryBackend retry(fault, fast_retry(4));
+  // A missing blob throws io_error from LocalDirBackend and IS retried —
+  // but the budget still bounds it.
+  EXPECT_THROW((void)retry.read("never-written.bin"), io_error);
+  EXPECT_EQ(fault->reads(), 4u);
+  // remove/exists are pass-throughs (not idempotent-retry candidates).
+  const auto blob = pattern_blob(8);
+  retry.write("y.bin", blob.data(), blob.size());
+  retry.remove("y.bin");
+  EXPECT_FALSE(retry.exists("y.bin"));
+}
+
+TEST(RetryBackendTest, InvalidOptionsAreRejected) {
+  TempDir tmp;
+  auto local = std::make_shared<LocalDirBackend>(tmp.path);
+  RetryBackend::Options bad;
+  bad.max_attempts = 0;
+  EXPECT_THROW(RetryBackend(local, bad), invalid_argument_error);
+  bad = {};
+  bad.multiplier = 0.5;
+  EXPECT_THROW(RetryBackend(local, bad), invalid_argument_error);
+  bad = {};
+  bad.jitter = 1.5;
+  EXPECT_THROW(RetryBackend(local, bad), invalid_argument_error);
+  bad = {};
+  bad.initial_backoff_ms = -1.0;
+  EXPECT_THROW(RetryBackend(local, bad), invalid_argument_error);
+}
+
+TEST(RetryBackendTest, ShardStoreSpillReloadThroughRetrySeam) {
+  TempDir tmp;
+  auto fault = std::make_shared<FaultInjectionBackend>(
+      std::make_shared<LocalDirBackend>(tmp.path));
+  auto retry = std::make_shared<RetryBackend>(fault, fast_retry(4));
+  ShardStore::Options opt;
+  opt.backend = retry;
+  ShardStore store(opt);
+  const auto a = random_csr<int, double>(48, 48, 0.25, 21);
+  ShardedMatrix<int, double> sa(a, 2, &store);
+  store.spill_all();
+  fault->fail_next_reads(2);  // reload absorbs transient faults invisibly
+  {
+    const auto lease = sa.lease(0);
+    EXPECT_TRUE(csr_equal(slice_rows(a, 0, 24), *lease));
+  }
+  EXPECT_GE(retry->stats().retries.load(), 2u);
+  EXPECT_EQ(retry->stats().giveups.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: read_streamed's size probe. tellg() reports failure as -1;
+// the old code cast it straight to size_t and died in bad_alloc on a
+// ~2^64-byte vector instead of the backend contract's typed io_error.
+// ---------------------------------------------------------------------------
+
+TEST(StorageRegression, UnsizableStreamIsTypedErrorNotBadAlloc) {
+  // A stream in a failed state: tellg() returns pos_type(-1).
+  std::istringstream in("payload");
+  in.setstate(std::ios::failbit);
+  EXPECT_THROW((void)detail::stream_size_or_throw(in, "probe"),
+               io_error);
+  try {
+    (void)detail::stream_size_or_throw(in, "probe");
+  } catch (const io_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot determine stream size"),
+              std::string::npos);
+  }
+  // A healthy stream still sizes correctly.
+  std::istringstream ok("12345");
+  ok.seekg(0, std::ios::end);
+  EXPECT_EQ(detail::stream_size_or_throw(ok, "probe"), 5u);
 }
 
 }  // namespace
